@@ -1,0 +1,70 @@
+// Command takoreport regenerates every table and figure of the paper's
+// evaluation, printing each and optionally writing a combined report.
+//
+// Usage:
+//
+//	takoreport [-full] [-out report.txt] [-skip fig25,fig22]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tako/internal/exp"
+)
+
+func main() {
+	var (
+		full = flag.Bool("full", false, "run at full (slow) scale")
+		out  = flag.String("out", "", "also write the report to this file")
+		skip = flag.String("skip", "", "comma-separated experiment ids to skip")
+	)
+	flag.Parse()
+
+	skipped := map[string]bool{}
+	for _, id := range strings.Split(*skip, ",") {
+		if id != "" {
+			skipped[id] = true
+		}
+	}
+
+	var report strings.Builder
+	emit := func(format string, args ...interface{}) {
+		s := fmt.Sprintf(format, args...)
+		fmt.Print(s)
+		report.WriteString(s)
+	}
+
+	emit("täkō reproduction report — every table and figure of the evaluation\n")
+	emit("scale: quick=%v\n\n", !*full)
+	failures := 0
+	for _, e := range exp.All() {
+		if skipped[e.ID] {
+			emit("== %s: SKIPPED ==\n\n", e.ID)
+			continue
+		}
+		emit("== %s: %s ==\npaper: %s\n", e.ID, e.Title, e.Paper)
+		start := time.Now()
+		tbl, err := e.Run(!*full)
+		if err != nil {
+			emit("ERROR: %v\n\n", err)
+			failures++
+			continue
+		}
+		emit("%s(%s)\n\n", tbl.String(), time.Since(start).Round(time.Millisecond))
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "takoreport: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "takoreport: %d experiments failed\n", failures)
+		os.Exit(1)
+	}
+}

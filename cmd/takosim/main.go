@@ -1,0 +1,53 @@
+// Command takosim runs a single täkō experiment (one of the paper's
+// tables or figures) and prints its rows.
+//
+// Usage:
+//
+//	takosim -list
+//	takosim -exp fig13 [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tako/internal/exp"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list available experiments")
+		id   = flag.String("exp", "", "experiment id to run (e.g. fig6, table2)")
+		full = flag.Bool("full", false, "run at full (slow) scale instead of quick scale")
+	)
+	flag.Parse()
+
+	if *list || *id == "" {
+		fmt.Println("available experiments:")
+		for _, e := range exp.All() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-12s paper: %s\n", "", e.Paper)
+		}
+		if *id == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	e, ok := exp.ByID(*id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "takosim: unknown experiment %q (use -list)\n", *id)
+		os.Exit(2)
+	}
+	fmt.Printf("== %s: %s ==\npaper: %s\n\n", e.ID, e.Title, e.Paper)
+	start := time.Now()
+	tbl, err := e.Run(!*full)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "takosim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(tbl.String())
+	fmt.Printf("\n(%s wall clock)\n", time.Since(start).Round(time.Millisecond))
+}

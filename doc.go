@@ -1,0 +1,11 @@
+// Package tako is a Go reproduction of "täkō: A Polymorphic Cache
+// Hierarchy for General-Purpose Optimization of Data Movement"
+// (Schwedock, Yoovidhya, Seibert, Beckmann — ISCA 2022).
+//
+// The repository contains an execution-driven simulator of a tiled
+// multicore with täkō's cache-triggered software callbacks and
+// near-cache dataflow engines, the paper's five case studies with their
+// software baselines, and a harness that regenerates every table and
+// figure of the evaluation. See README.md for a tour, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+package tako

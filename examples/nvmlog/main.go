@@ -1,0 +1,39 @@
+// NVM transaction-log example (paper §8.3): append-only transactions on
+// persistent memory. The baseline journals every write; täkō stages
+// writes in a phantom range and, at commit, lets onWriteback push them
+// straight to NVM — journaling only the (rare) lines evicted before
+// commit. Reproduces the Fig 19 sweep shape: big wins while transactions
+// fit the L2, graceful fallback beyond it.
+//
+// Run with: go run ./examples/nvmlog
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tako/internal/morphs"
+)
+
+func main() {
+	fmt.Println("append-only transactions on NVM (24 txns per size, 4-tile machine)")
+	fmt.Println()
+	sizes := []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10}
+	res, err := morphs.RunNVMSweep(sizes, 4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvmlog:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-8s %14s %14s %9s %12s %16s\n",
+		"txn", "journal(cyc)", "täkō(cyc)", "speedup", "energy", "pre-commit-evict")
+	for i, size := range sizes {
+		base := res[morphs.NVMBaseline][i]
+		tako := res[morphs.NVMTako][i]
+		fmt.Printf("%5dKB %14d %14d %8.2fx %11.0f%% %16d\n",
+			size/1024, base.Cycles, tako.Cycles, tako.Speedup(base),
+			-100*tako.EnergySaving(base), int(tako.Extra["journaled_lines"]))
+	}
+	fmt.Println("\nWhile a transaction fits the 128 KB L2 nothing is evicted before commit,")
+	fmt.Println("so the cache IS the journal and täkō skips journaling entirely. At 128 KB")
+	fmt.Println("evictions appear and onWriteback journals them — off the core's critical path.")
+}

@@ -1,0 +1,51 @@
+// PageRank/PHI example (paper §8.1): run one push iteration of PageRank
+// four ways — direct atomics, software update batching (propagation
+// blocking), PHI on täkō, and the idealized engine — reproducing the
+// Fig 13 / Fig 14 comparison, with the result verified against a
+// functional reference.
+//
+// Run with: go run ./examples/pagerank-phi [-v N] [-e N] [-threads N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tako/internal/morphs"
+)
+
+func main() {
+	var (
+		v       = flag.Int("v", 16*1024, "vertices")
+		e       = flag.Int("e", 160*1024, "edges")
+		threads = flag.Int("threads", 8, "threads (= tiles)")
+	)
+	flag.Parse()
+
+	prm := morphs.DefaultPHIParams()
+	prm.V, prm.E = *v, *e
+	prm.Tiles, prm.Threads = *threads, *threads
+
+	fmt.Printf("PageRank scatter on %d vertices / %d edges, %d threads (caches scaled 1/%d)\n\n",
+		prm.V, prm.E, prm.Threads, prm.CacheScale)
+	res, err := morphs.RunPHIAll(prm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phi:", err)
+		os.Exit(1)
+	}
+	base := res[morphs.PHIBaseline]
+	fmt.Printf("%-9s %10s %9s %8s %8s %8s %10s\n",
+		"variant", "cycles", "speedup", "edgeDRAM", "binDRAM", "vtxDRAM", "energy(nJ)")
+	for _, v := range morphs.AllPHIVariants {
+		r := res[v]
+		fmt.Printf("%-9s %10d %8.2fx %8d %8d %8d %10.0f\n",
+			v, r.Cycles, r.Speedup(base),
+			r.DRAMPhase["edge"], r.DRAMPhase["bin"], r.DRAMPhase["vertex"], r.EnergyPJ/1000)
+	}
+	tako := res[morphs.PHITako]
+	fmt.Printf("\nPHI on täkō buffers commutative updates in-cache (onMiss fills the identity),\n")
+	fmt.Printf("and onWriteback applies dense lines in place (%d updates) or logs sparse ones (%d).\n",
+		int(tako.Extra["updates.inplace"]), int(tako.Extra["updates.binned"]))
+	fmt.Printf("Every variant's final ranks matched the functional reference exactly.\n")
+}

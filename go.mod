@@ -1,0 +1,3 @@
+module tako
+
+go 1.22

@@ -1,0 +1,387 @@
+// Package cache models set-associative cache arrays: tags, data,
+// replacement state, Morph registration bits, and per-line callback
+// locks. Timing and the protocol between levels live in internal/hier;
+// this package is the functional array plus replacement policy.
+//
+// täkō-specific pieces (paper §5.2):
+//   - one tag bit per line records whether a Morph is registered for the
+//     line at this cache level;
+//   - the trrîp replacement policy inserts engine-issued fills at distant
+//     re-reference priority to avoid cache pollution from callbacks;
+//   - victim selection can be restricted to callback-free lines, and
+//     inserts maintain the invariant that every set keeps at least one
+//     line that can be evicted without triggering a callback (deadlock
+//     avoidance).
+package cache
+
+import (
+	"fmt"
+
+	"tako/internal/mem"
+	"tako/internal/sim"
+)
+
+// Config describes one cache array.
+type Config struct {
+	Name        string
+	SizeBytes   int
+	Ways        int
+	TagLatency  sim.Cycle
+	DataLatency sim.Cycle
+	// IndexShift skips address bits above the line offset before set
+	// indexing; shared-cache banks use it to index within a bank after
+	// line-interleaving across tiles.
+	IndexShift uint
+	Policy     Policy
+}
+
+// LineState is the full state of one cache line (tag + data + metadata).
+type LineState struct {
+	Valid bool
+	Tag   mem.Addr // line-aligned address
+	Dirty bool
+	// Morph records that a Morph is registered for this line at this
+	// cache level: its eviction must invoke onEviction/onWriteback.
+	Morph bool
+	// EngineFill records that the line was inserted by an engine
+	// (callback) access, for trrîp's pollution-avoidance accounting.
+	EngineFill bool
+	// Locked marks a line currently owned by a running callback; it
+	// may not be selected as a victim.
+	Locked bool
+	// Phantom marks a line from a phantom range (never written back to
+	// the next level; discarded after its eviction callback).
+	Phantom bool
+
+	RRPV uint8  // RRIP re-reference prediction value
+	LRU  uint64 // LRU timestamp
+
+	Data mem.Line
+}
+
+// Stats are per-array counters.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	Writebacks  uint64 // dirty evictions
+	MorphEvicts uint64 // evictions that will trigger callbacks
+	Fills       uint64
+}
+
+// Cache is one set-associative array.
+type Cache struct {
+	cfg      Config
+	sets     [][]LineState
+	numSets  int
+	lruClock uint64
+	Stats    Stats
+}
+
+// New builds a cache array from cfg. Size must be divisible by
+// Ways*LineSize and the set count must be a power of two.
+func New(cfg Config) *Cache {
+	if cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic("cache: bad geometry")
+	}
+	lines := cfg.SizeBytes / mem.LineSize
+	if lines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible by %d ways", cfg.Name, lines, cfg.Ways))
+	}
+	numSets := lines / cfg.Ways
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets is not a power of two", cfg.Name, numSets))
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NewTRRIP()
+	}
+	c := &Cache{cfg: cfg, numSets: numSets}
+	c.sets = make([][]LineState, numSets)
+	for i := range c.sets {
+		c.sets[i] = make([]LineState, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// SetIndex returns the set index for address a.
+func (c *Cache) SetIndex(a mem.Addr) int {
+	return int((uint64(a) >> (mem.LineShift + c.cfg.IndexShift)) % uint64(c.numSets))
+}
+
+// Lookup returns the line holding a, or nil on miss. It does not update
+// replacement state; callers use Touch on hits so that probes (directory
+// lookups, flush walks) do not perturb the policy.
+func (c *Cache) Lookup(a mem.Addr) *LineState {
+	set := c.sets[c.SetIndex(a)]
+	la := a.Line()
+	for i := range set {
+		if set[i].Valid && set[i].Tag == la {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Contains reports whether a is cached.
+func (c *Cache) Contains(a mem.Addr) bool { return c.Lookup(a) != nil }
+
+// Touch records a demand hit on a's line for the replacement policy.
+func (c *Cache) Touch(a mem.Addr) {
+	idx := c.SetIndex(a)
+	set := c.sets[idx]
+	la := a.Line()
+	for i := range set {
+		if set[i].Valid && set[i].Tag == la {
+			c.lruClock++
+			set[i].LRU = c.lruClock
+			c.cfg.Policy.OnHit(set, i)
+			return
+		}
+	}
+}
+
+// VictimConstraint restricts victim selection.
+type VictimConstraint struct {
+	// CallbackFree requires a victim whose eviction triggers no
+	// callback (no Morph bit). Used when callback resources are
+	// saturated (§5.2 deadlock avoidance).
+	CallbackFree bool
+	// Avoid excludes lines software asked to protect — the
+	// onReplacement extension (§4.5): Morphs may bias the eviction
+	// policy for their lines. Callers fall back to unconstrained
+	// selection when every candidate is avoided.
+	Avoid func(tag mem.Addr) bool
+}
+
+// ChooseVictim picks a victim way in a's set for an incoming fill.
+// Invalid ways are preferred. It returns ok=false if every candidate is
+// excluded (all locked, or no callback-free line under the constraint —
+// the insert invariant makes the latter impossible for CallbackFree).
+func (c *Cache) ChooseVictim(a mem.Addr, constraint VictimConstraint) (way int, ok bool) {
+	set := c.sets[c.SetIndex(a)]
+	for i := range set {
+		if !set[i].Valid {
+			return i, true
+		}
+	}
+	allowed := func(i int) bool {
+		if set[i].Locked {
+			return false
+		}
+		if constraint.CallbackFree && set[i].Morph {
+			return false
+		}
+		if constraint.Avoid != nil && constraint.Avoid(set[i].Tag) {
+			return false
+		}
+		return true
+	}
+	any := false
+	for i := range set {
+		if allowed(i) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return -1, false
+	}
+	return c.cfg.Policy.Victim(set, allowed), true
+}
+
+// FillOpts describes an incoming line.
+type FillOpts struct {
+	Dirty      bool
+	Morph      bool
+	Phantom    bool
+	EngineFill bool
+	Locked     bool
+}
+
+// EvictWay removes the line in set idx/way and returns its prior state.
+func (c *Cache) evictWay(setIdx, way int) LineState {
+	old := c.sets[setIdx][way]
+	c.sets[setIdx][way] = LineState{}
+	if old.Valid {
+		c.Stats.Evictions++
+		if old.Dirty {
+			c.Stats.Writebacks++
+		}
+		if old.Morph {
+			c.Stats.MorphEvicts++
+		}
+	}
+	return old
+}
+
+// FillAt installs a line for address a into the given way (previously
+// chosen by ChooseVictim and already drained by the caller), returning
+// the evicted line state (Valid=false if the way was empty).
+//
+// FillAt maintains the deadlock-avoidance invariant: if installing a
+// Morph line would leave no callback-free line in the set, it refuses
+// and the caller must evict a Morph line first (see Insert, which handles
+// this automatically).
+func (c *Cache) FillAt(a mem.Addr, way int, data *mem.Line, opts FillOpts) LineState {
+	setIdx := c.SetIndex(a)
+	evicted := c.evictWay(setIdx, way)
+	set := c.sets[setIdx]
+	for w := range set {
+		if set[w].Valid && set[w].Tag == a.Line() {
+			panic(fmt.Sprintf("cache %s: duplicate fill of line %v (already in way %d)",
+				c.cfg.Name, a.Line(), w))
+		}
+	}
+	c.lruClock++
+	set[way] = LineState{
+		Valid:      true,
+		Tag:        a.Line(),
+		Dirty:      opts.Dirty,
+		Morph:      opts.Morph,
+		Phantom:    opts.Phantom,
+		EngineFill: opts.EngineFill,
+		Locked:     opts.Locked,
+		LRU:        c.lruClock,
+	}
+	if data != nil {
+		set[way].Data = *data
+	}
+	c.cfg.Policy.OnInsert(set, way, opts.EngineFill)
+	c.Stats.Fills++
+	return evicted
+}
+
+// CanInsertMorph reports whether inserting a Morph line into a's set,
+// evicting victimWay, preserves the per-set invariant of ≥1 callback-free
+// line (counting invalid lines as callback-free).
+func (c *Cache) CanInsertMorph(a mem.Addr, victimWay int) bool {
+	set := c.sets[c.SetIndex(a)]
+	for i := range set {
+		if i == victimWay {
+			continue // being replaced by the Morph line
+		}
+		if !set[i].Valid || !set[i].Morph {
+			return true
+		}
+	}
+	return false
+}
+
+// ChooseVictimForInsert picks a victim for a fill with the given options,
+// honoring both the caller's constraint and the Morph-insert invariant:
+// when the new line carries a Morph and only one callback-free line
+// remains, a Morph line is victimized instead so the set always retains
+// an evictable, callback-free line (§5.2).
+func (c *Cache) ChooseVictimForInsert(a mem.Addr, opts FillOpts, constraint VictimConstraint) (way int, ok bool) {
+	way, ok = c.ChooseVictim(a, constraint)
+	if !ok {
+		return -1, false
+	}
+	if opts.Morph && !c.CanInsertMorph(a, way) {
+		// Must evict a Morph line instead. This victim triggers a
+		// callback, so it is incompatible with CallbackFree.
+		if constraint.CallbackFree {
+			return -1, false
+		}
+		set := c.sets[c.SetIndex(a)]
+		allowed := func(i int) bool {
+			if set[i].Locked || !set[i].Morph {
+				return false
+			}
+			if constraint.Avoid != nil && constraint.Avoid(set[i].Tag) {
+				return false
+			}
+			return true
+		}
+		any := false
+		for i := range set {
+			if allowed(i) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			if constraint.Avoid == nil {
+				return -1, false
+			}
+			// All Morph candidates are protected: the hint is
+			// advisory, so retry without it.
+			relaxed := constraint
+			relaxed.Avoid = nil
+			return c.ChooseVictimForInsert(a, opts, relaxed)
+		}
+		return c.cfg.Policy.Victim(set, allowed), true
+	}
+	return way, ok
+}
+
+// ExtractLine invalidates a's line and returns its state (for flushes and
+// back-invalidations). ok=false if the line is not present.
+func (c *Cache) ExtractLine(a mem.Addr) (LineState, bool) {
+	setIdx := c.SetIndex(a)
+	set := c.sets[setIdx]
+	la := a.Line()
+	for i := range set {
+		if set[i].Valid && set[i].Tag == la {
+			return c.evictWay(setIdx, i), true
+		}
+	}
+	return LineState{}, false
+}
+
+// Walk calls fn for every valid line; fn may mutate the line state but
+// must not invalidate it (use ExtractLine afterwards).
+func (c *Cache) Walk(fn func(*LineState)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].Valid {
+				fn(&c.sets[s][w])
+			}
+		}
+	}
+}
+
+// LinesInRegion returns the addresses of cached lines within r, in
+// deterministic (set, way) order. Used by flushData tag walks (§4.4).
+func (c *Cache) LinesInRegion(r mem.Region) []mem.Addr {
+	var out []mem.Addr
+	c.Walk(func(l *LineState) {
+		if r.Contains(l.Tag) {
+			out = append(out, l.Tag)
+		}
+	})
+	return out
+}
+
+// CheckMorphInvariant verifies every set retains at least one
+// callback-free (invalid or Morph-less) line. Returns an error naming the
+// first violating set. Used by property tests and the deadlock study.
+func (c *Cache) CheckMorphInvariant() error {
+	for s := range c.sets {
+		free := false
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if !l.Valid || !l.Morph {
+				free = true
+				break
+			}
+		}
+		if !free {
+			return fmt.Errorf("cache %s: set %d has no callback-free line", c.cfg.Name, s)
+		}
+	}
+	return nil
+}
+
+// ValidLines returns the number of valid lines.
+func (c *Cache) ValidLines() int {
+	n := 0
+	c.Walk(func(*LineState) { n++ })
+	return n
+}

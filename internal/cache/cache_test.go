@@ -1,0 +1,285 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tako/internal/mem"
+)
+
+// tiny returns a 2-set, 4-way cache for focused tests.
+func tiny(p Policy) *Cache {
+	return New(Config{Name: "t", SizeBytes: 2 * 4 * 64, Ways: 4, Policy: p})
+}
+
+// addrFor returns the i-th distinct line address mapping to the given set
+// of a 2-set cache.
+func addrFor(set, i int) mem.Addr {
+	return mem.Addr(uint64(set)*64 + uint64(i)*2*64)
+}
+
+func fill(c *Cache, a mem.Addr, opts FillOpts) LineState {
+	way, ok := c.ChooseVictimForInsert(a, opts, VictimConstraint{})
+	if !ok {
+		panic("no victim")
+	}
+	return c.FillAt(a, way, nil, opts)
+}
+
+func TestGeometry(t *testing.T) {
+	c := New(Config{Name: "l2", SizeBytes: 128 * 1024, Ways: 8})
+	if c.NumSets() != 256 {
+		t.Fatalf("sets = %d, want 256", c.NumSets())
+	}
+	// Same line maps to same set; consecutive lines to consecutive sets.
+	if c.SetIndex(0) != 0 || c.SetIndex(64) != 1 || c.SetIndex(63) != 0 {
+		t.Fatal("set indexing wrong")
+	}
+	// IndexShift skips bank-interleave bits.
+	cb := New(Config{Name: "l3", SizeBytes: 8 * 1024, Ways: 2, IndexShift: 4})
+	if cb.SetIndex(0) != cb.SetIndex(64) {
+		t.Fatal("IndexShift should make adjacent lines share a set index")
+	}
+	if cb.SetIndex(0) == cb.SetIndex(64*16) {
+		t.Fatal("IndexShift skipped too many bits")
+	}
+}
+
+func TestLookupMissHitAndData(t *testing.T) {
+	c := tiny(NewLRU())
+	a := addrFor(0, 0)
+	if c.Lookup(a) != nil {
+		t.Fatal("hit in empty cache")
+	}
+	var data mem.Line
+	data.SetWord(0, 99)
+	way, ok := c.ChooseVictimForInsert(a, FillOpts{}, VictimConstraint{})
+	if !ok {
+		t.Fatal("no victim in empty set")
+	}
+	ev := c.FillAt(a, way, &data, FillOpts{})
+	if ev.Valid {
+		t.Fatal("eviction from empty way")
+	}
+	l := c.Lookup(a + 8) // any addr within the line
+	if l == nil || l.Data.Word(0) != 99 {
+		t.Fatal("fill did not stick")
+	}
+	if c.Stats.Fills != 1 {
+		t.Fatalf("fills = %d", c.Stats.Fills)
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := tiny(NewLRU())
+	for i := 0; i < 4; i++ {
+		fill(c, addrFor(0, i), FillOpts{})
+	}
+	c.Touch(addrFor(0, 0)) // 0 is now MRU; 1 is LRU
+	ev := fill(c, addrFor(0, 4), FillOpts{})
+	if !ev.Valid || ev.Tag != addrFor(0, 1) {
+		t.Fatalf("evicted %v, want %v", ev.Tag, addrFor(0, 1))
+	}
+}
+
+func TestRRIPAgingAndPromotion(t *testing.T) {
+	c := tiny(NewRRIP())
+	for i := 0; i < 4; i++ {
+		fill(c, addrFor(0, i), FillOpts{})
+	}
+	c.Touch(addrFor(0, 2)) // promoted to near
+	// All start at long(2); victim search ages everyone to 3 except
+	// the promoted line, then picks the first distant: way 0.
+	ev := fill(c, addrFor(0, 4), FillOpts{})
+	if !ev.Valid || ev.Tag != addrFor(0, 0) {
+		t.Fatalf("evicted %v, want %v", ev.Tag, addrFor(0, 0))
+	}
+	if c.Lookup(addrFor(0, 2)) == nil {
+		t.Fatal("promoted line was evicted")
+	}
+}
+
+func TestTRRIPDemotesEngineFills(t *testing.T) {
+	c := tiny(NewTRRIP())
+	fill(c, addrFor(0, 0), FillOpts{})                 // core fill: RRPV 2
+	fill(c, addrFor(0, 1), FillOpts{EngineFill: true}) // engine fill: RRPV 3
+	fill(c, addrFor(0, 2), FillOpts{})
+	fill(c, addrFor(0, 3), FillOpts{})
+	ev := fill(c, addrFor(0, 4), FillOpts{})
+	if ev.Tag != addrFor(0, 1) {
+		t.Fatalf("trrîp evicted %v, want the engine-filled line", ev.Tag)
+	}
+	// Plain RRIP treats them equally: victim is the first aged way.
+	c2 := tiny(NewRRIP())
+	fill(c2, addrFor(0, 0), FillOpts{})
+	fill(c2, addrFor(0, 1), FillOpts{EngineFill: true})
+	fill(c2, addrFor(0, 2), FillOpts{})
+	fill(c2, addrFor(0, 3), FillOpts{})
+	ev = fill(c2, addrFor(0, 4), FillOpts{})
+	if ev.Tag != addrFor(0, 0) {
+		t.Fatalf("rrip evicted %v, want way 0", ev.Tag)
+	}
+}
+
+func TestTRRIPHitRescuesEngineLine(t *testing.T) {
+	c := tiny(NewTRRIP())
+	fill(c, addrFor(0, 0), FillOpts{EngineFill: true})
+	c.Touch(addrFor(0, 0)) // core demand hit: promoted, EngineFill cleared
+	l := c.Lookup(addrFor(0, 0))
+	if l.EngineFill || l.RRPV != 0 {
+		t.Fatalf("engine line not rescued: %+v", l)
+	}
+}
+
+func TestLockedLinesNotVictimized(t *testing.T) {
+	c := tiny(NewLRU())
+	for i := 0; i < 4; i++ {
+		fill(c, addrFor(0, i), FillOpts{Locked: i == 0})
+	}
+	// Way 0 is the LRU line but locked.
+	ev := fill(c, addrFor(0, 4), FillOpts{})
+	if ev.Tag == addrFor(0, 0) {
+		t.Fatal("evicted a locked line")
+	}
+	if c.Lookup(addrFor(0, 0)) == nil {
+		t.Fatal("locked line gone")
+	}
+}
+
+func TestAllLockedNoVictim(t *testing.T) {
+	c := tiny(NewLRU())
+	for i := 0; i < 4; i++ {
+		fill(c, addrFor(0, i), FillOpts{Locked: true})
+	}
+	if _, ok := c.ChooseVictim(addrFor(0, 9), VictimConstraint{}); ok {
+		t.Fatal("found victim among all-locked set")
+	}
+}
+
+func TestCallbackFreeConstraint(t *testing.T) {
+	c := tiny(NewLRU())
+	fill(c, addrFor(0, 0), FillOpts{Morph: true})
+	fill(c, addrFor(0, 1), FillOpts{Morph: true})
+	fill(c, addrFor(0, 2), FillOpts{Morph: true})
+	fill(c, addrFor(0, 3), FillOpts{}) // the callback-free line
+	way, ok := c.ChooseVictim(addrFor(0, 4), VictimConstraint{CallbackFree: true})
+	if !ok {
+		t.Fatal("no callback-free victim found")
+	}
+	set := c.SetIndex(addrFor(0, 4))
+	if got := c.sets[set][way].Tag; got != addrFor(0, 3) {
+		t.Fatalf("callback-free victim = %v, want %v", got, addrFor(0, 3))
+	}
+}
+
+func TestMorphInsertInvariant(t *testing.T) {
+	c := tiny(NewLRU())
+	// Fill 3 Morph lines + 1 normal; inserting a 4th Morph line must
+	// victimize a Morph line, not the last callback-free one.
+	fill(c, addrFor(0, 0), FillOpts{Morph: true})
+	fill(c, addrFor(0, 1), FillOpts{Morph: true})
+	fill(c, addrFor(0, 2), FillOpts{Morph: true})
+	fill(c, addrFor(0, 3), FillOpts{})
+	ev := fill(c, addrFor(0, 4), FillOpts{Morph: true})
+	if !ev.Valid || !ev.Morph {
+		t.Fatalf("evicted %+v, want a Morph line", ev)
+	}
+	if err := c.CheckMorphInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	// And a Morph insert under CallbackFree constraint in that state
+	// is refused rather than violating the invariant.
+	if _, ok := c.ChooseVictimForInsert(addrFor(0, 5), FillOpts{Morph: true},
+		VictimConstraint{CallbackFree: true}); ok {
+		t.Fatal("morph insert with CallbackFree should have been refused")
+	}
+}
+
+// Property: any random mix of Morph and plain fills preserves the per-set
+// callback-free invariant.
+func TestQuickMorphInvariantPreserved(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		c := New(Config{Name: "q", SizeBytes: 4 * 4 * 64, Ways: 4, Policy: NewTRRIP()})
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(n)+8; i++ {
+			a := mem.Addr(rng.Intn(256) * 64)
+			if c.Contains(a) {
+				continue // refills are handled above the array
+			}
+			opts := FillOpts{
+				Morph:      rng.Intn(2) == 0,
+				EngineFill: rng.Intn(4) == 0,
+				Dirty:      rng.Intn(2) == 0,
+			}
+			way, ok := c.ChooseVictimForInsert(a, opts, VictimConstraint{})
+			if !ok {
+				return false
+			}
+			c.FillAt(a, way, nil, opts)
+			if err := c.CheckMorphInvariant(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractLine(t *testing.T) {
+	c := tiny(NewLRU())
+	fill(c, addrFor(0, 0), FillOpts{Dirty: true})
+	ls, ok := c.ExtractLine(addrFor(0, 0) + 16)
+	if !ok || !ls.Dirty || ls.Tag != addrFor(0, 0) {
+		t.Fatalf("extract = %+v, %v", ls, ok)
+	}
+	if c.Contains(addrFor(0, 0)) {
+		t.Fatal("extracted line still present")
+	}
+	if _, ok := c.ExtractLine(addrFor(0, 0)); ok {
+		t.Fatal("double extract succeeded")
+	}
+}
+
+func TestLinesInRegion(t *testing.T) {
+	c := New(Config{Name: "w", SizeBytes: 16 * 4 * 64, Ways: 4})
+	r := mem.Region{Name: "r", Base: 0x1000, Size: 0x200}
+	fill(c, 0x1000, FillOpts{})
+	fill(c, 0x1040, FillOpts{})
+	fill(c, 0x3000, FillOpts{}) // outside
+	got := c.LinesInRegion(r)
+	if len(got) != 2 {
+		t.Fatalf("lines in region = %v", got)
+	}
+}
+
+func TestStatsOnEvict(t *testing.T) {
+	c := tiny(NewLRU())
+	for i := 0; i < 4; i++ {
+		fill(c, addrFor(0, i), FillOpts{Dirty: i == 0, Morph: i == 1})
+	}
+	fill(c, addrFor(0, 4), FillOpts{}) // evicts way 0 (dirty)
+	if c.Stats.Evictions != 1 || c.Stats.Writebacks != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestWalkAndValidLines(t *testing.T) {
+	c := tiny(NewLRU())
+	fill(c, addrFor(0, 0), FillOpts{})
+	fill(c, addrFor(1, 0), FillOpts{})
+	if c.ValidLines() != 2 {
+		t.Fatalf("valid = %d", c.ValidLines())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two sets")
+		}
+	}()
+	New(Config{Name: "bad", SizeBytes: 3 * 64, Ways: 1})
+}

@@ -1,0 +1,116 @@
+package cache
+
+// Policy is a cache replacement policy over one set. Victim is called
+// with a filter of allowed ways (never all-false) and must return one of
+// the allowed ways.
+type Policy interface {
+	Name() string
+	// OnInsert updates replacement state for a newly filled way.
+	// engineFill marks fills issued by a täkō engine rather than a
+	// core (trrîp demotes those).
+	OnInsert(set []LineState, way int, engineFill bool)
+	// OnHit updates replacement state for a demand hit.
+	OnHit(set []LineState, way int)
+	// Victim selects an allowed way to evict.
+	Victim(set []LineState, allowed func(way int) bool) int
+}
+
+// LRU is least-recently-used replacement using global timestamps.
+type LRU struct{}
+
+// NewLRU returns an LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements Policy.
+func (*LRU) Name() string { return "lru" }
+
+// OnInsert implements Policy (timestamps are set by the Cache).
+func (*LRU) OnInsert(set []LineState, way int, engineFill bool) {}
+
+// OnHit implements Policy.
+func (*LRU) OnHit(set []LineState, way int) {}
+
+// Victim implements Policy: the allowed way with the oldest timestamp.
+func (*LRU) Victim(set []LineState, allowed func(int) bool) int {
+	best := -1
+	for i := range set {
+		if !allowed(i) {
+			continue
+		}
+		if best == -1 || set[i].LRU < set[best].LRU {
+			best = i
+		}
+	}
+	if best == -1 {
+		panic("cache: Victim called with no allowed ways")
+	}
+	return best
+}
+
+// RRIP re-reference interval prediction constants (2-bit SRRIP, [62]).
+const (
+	rrpvMax      = 3 // distant re-reference
+	rrpvLong     = 2 // long re-reference (insertion)
+	rrpvNear     = 0 // near re-reference (promotion on hit)
+	rrpvHitPromo = rrpvNear
+)
+
+// RRIP is 2-bit static RRIP: insert at long (2), promote to near (0) on
+// hit, evict distant (3), aging when no distant line exists.
+type RRIP struct {
+	// InsertEngineDistant enables trrîp's pollution avoidance: fills
+	// issued by engines insert at distant (3) so data touched only by
+	// callbacks is evicted first (§5.2).
+	InsertEngineDistant bool
+	name                string
+}
+
+// NewRRIP returns plain SRRIP (engine fills treated like core fills).
+func NewRRIP() *RRIP { return &RRIP{name: "rrip"} }
+
+// NewTRRIP returns trrîp: RRIP with engine fills inserted at distant
+// priority. The per-set callback-free-victim invariant, trrîp's other
+// half, is enforced by the Cache insert path for any policy.
+func NewTRRIP() *RRIP { return &RRIP{InsertEngineDistant: true, name: "trrip"} }
+
+// Name implements Policy.
+func (r *RRIP) Name() string { return r.name }
+
+// OnInsert implements Policy.
+func (r *RRIP) OnInsert(set []LineState, way int, engineFill bool) {
+	if engineFill && r.InsertEngineDistant {
+		set[way].RRPV = rrpvMax
+	} else {
+		set[way].RRPV = rrpvLong
+	}
+}
+
+// OnHit implements Policy.
+func (r *RRIP) OnHit(set []LineState, way int) {
+	set[way].RRPV = rrpvHitPromo
+	// A demand hit by a core rescues an engine-filled line from the
+	// pollution fast path.
+	set[way].EngineFill = false
+}
+
+// Victim implements Policy: first allowed way at distant RRPV, aging all
+// allowed ways until one reaches distant. Ties break toward lower way.
+func (r *RRIP) Victim(set []LineState, allowed func(int) bool) int {
+	for {
+		for i := range set {
+			if allowed(i) && set[i].RRPV >= rrpvMax {
+				return i
+			}
+		}
+		aged := false
+		for i := range set {
+			if allowed(i) && set[i].RRPV < rrpvMax {
+				set[i].RRPV++
+				aged = true
+			}
+		}
+		if !aged {
+			panic("cache: Victim called with no allowed ways")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+
+	"tako/internal/core"
+	"tako/internal/cpu"
+	"tako/internal/engine"
+	"tako/internal/mem"
+	"tako/internal/sim"
+	"tako/internal/system"
+)
+
+// Example demonstrates the täkō programming model end to end: register a
+// Morph whose onMiss defines the contents of a phantom address range,
+// read through it (misses invoke the callback, hits are free), then
+// flush and unregister.
+func Example() {
+	s := system.New(system.Default(2))
+
+	doubler := core.MorphSpec{
+		Name: "doubler",
+		OnMiss: &core.Callback{
+			Instrs: 6, CritPath: 3,
+			Fn: func(ctx *engine.Ctx) {
+				base := ctx.View().(*exampleView).base
+				first := uint64(ctx.Addr-base) / 8
+				for i := 0; i < mem.WordsPerLine; i++ {
+					ctx.Line.SetWord(i, 2*(first+uint64(i)))
+				}
+			},
+		},
+		NewView: func(tile int) interface{} { return &exampleView{} },
+	}
+
+	s.Go(0, "main", func(p *sim.Proc, c *cpu.Core) {
+		m, err := s.Tako.RegisterPhantom(p, doubler, core.Private, 4096, 0)
+		if err != nil {
+			panic(err)
+		}
+		m.View(0).(*exampleView).base = m.Region.Base
+
+		fmt.Println("doubler[21] =", c.Load(p, m.Region.Word(21)))
+		fmt.Println("doubler[21] =", c.Load(p, m.Region.Word(21)), "(cache hit)")
+
+		s.Tako.FlushData(p, m)
+		s.Tako.Unregister(p, m)
+	})
+	s.Run()
+
+	// Output:
+	// doubler[21] = 42
+	// doubler[21] = 42 (cache hit)
+}
+
+type exampleView struct{ base mem.Addr }

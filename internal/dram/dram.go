@@ -1,0 +1,155 @@
+// Package dram models main memory: multiple memory controllers with a
+// fixed access latency and a per-controller bandwidth limit (Table 3:
+// 4 controllers, 100-cycle latency, 11.8 GB/s per controller). Lines are
+// interleaved across controllers. Address ranges may be marked as NVM;
+// writes there are persistent and charged at NVM energy (used by the §8.3
+// transactions study).
+package dram
+
+import (
+	"tako/internal/energy"
+	"tako/internal/mem"
+	"tako/internal/sim"
+)
+
+// Config describes the memory system.
+type Config struct {
+	Controllers   int
+	Latency       sim.Cycle // fixed access latency per request
+	CyclesPerLine sim.Cycle // per-controller occupancy per 64 B line (bandwidth)
+}
+
+// DefaultConfig returns the Table 3 memory system. 11.8 GB/s per
+// controller at 2.4 GHz is 4.92 B/cycle, i.e. ~13 cycles of controller
+// occupancy per 64 B line.
+func DefaultConfig() Config {
+	return Config{Controllers: 4, Latency: 100, CyclesPerLine: 13}
+}
+
+// DRAM is the backing memory with timing. Data lives in a mem.Memory so
+// functional results can be checked against the timing simulation.
+type DRAM struct {
+	k     *sim.Kernel
+	cfg   Config
+	store *mem.Memory
+	meter *energy.Meter
+
+	nextFree []sim.Cycle // per-controller bandwidth queue
+	nvm      []mem.Region
+
+	// Stats.
+	Reads, Writes  uint64
+	PerCtrl        []uint64
+	phase          string
+	PhaseAccesses  map[string]uint64
+	StallCycles    sim.Cycle // total cycles requests waited for a free controller
+	persistedLines map[mem.Addr]struct{}
+}
+
+// New builds a DRAM model over the given backing store.
+func New(k *sim.Kernel, cfg Config, store *mem.Memory, meter *energy.Meter) *DRAM {
+	if cfg.Controllers <= 0 {
+		panic("dram: need at least one controller")
+	}
+	return &DRAM{
+		k:              k,
+		cfg:            cfg,
+		store:          store,
+		meter:          meter,
+		nextFree:       make([]sim.Cycle, cfg.Controllers),
+		PerCtrl:        make([]uint64, cfg.Controllers),
+		PhaseAccesses:  make(map[string]uint64),
+		persistedLines: make(map[mem.Addr]struct{}),
+	}
+}
+
+// Store returns the functional backing store.
+func (d *DRAM) Store() *mem.Memory { return d.store }
+
+// MarkNVM declares an address range to be non-volatile memory.
+func (d *DRAM) MarkNVM(r mem.Region) { d.nvm = append(d.nvm, r) }
+
+// IsNVM reports whether a falls in a non-volatile range.
+func (d *DRAM) IsNVM(a mem.Addr) bool {
+	for _, r := range d.nvm {
+		if r.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// SetPhase labels subsequent accesses for per-phase breakdowns (Figs 14
+// and 17 report DRAM accesses split by PageRank phase).
+func (d *DRAM) SetPhase(name string) { d.phase = name }
+
+// Phase returns the current phase label.
+func (d *DRAM) Phase() string { return d.phase }
+
+// ControllerFor returns the controller index serving address a. Lines are
+// interleaved across controllers.
+func (d *DRAM) ControllerFor(a mem.Addr) int {
+	return int((uint64(a) >> mem.LineShift) % uint64(d.cfg.Controllers))
+}
+
+// occupy reserves controller bandwidth and returns the completion time of
+// one line transfer starting no earlier than now.
+func (d *DRAM) occupy(ctrl int) sim.Cycle {
+	start := d.k.Now()
+	if d.nextFree[ctrl] > start {
+		d.StallCycles += d.nextFree[ctrl] - start
+		start = d.nextFree[ctrl]
+	}
+	d.nextFree[ctrl] = start + d.cfg.CyclesPerLine
+	return start + d.cfg.Latency
+}
+
+func (d *DRAM) account(a mem.Addr, write bool) {
+	ctrl := d.ControllerFor(a)
+	d.PerCtrl[ctrl]++
+	if d.phase != "" {
+		d.PhaseAccesses[d.phase]++
+	}
+	if d.meter != nil {
+		d.meter.Add(energy.DRAMAccess, 1)
+		if write && d.IsNVM(a) {
+			d.meter.Add(energy.NVMWrite, 1)
+		}
+	}
+}
+
+// ReadLine fetches the line containing a: the data is copied into dst
+// immediately (the simulator serializes conflicting accesses above this
+// layer), and the returned future completes when the transfer finishes.
+func (d *DRAM) ReadLine(a mem.Addr, dst *mem.Line) *sim.Future {
+	d.Reads++
+	d.account(a, false)
+	d.store.PeekLine(a, dst)
+	f := sim.NewFuture(d.k)
+	f.CompleteAt(d.occupy(d.ControllerFor(a)))
+	return f
+}
+
+// WriteLine writes the line containing a. Data is applied immediately;
+// the future completes when the controller finishes the transfer.
+func (d *DRAM) WriteLine(a mem.Addr, src *mem.Line) *sim.Future {
+	d.Writes++
+	d.account(a, true)
+	d.store.WriteLine(a, src)
+	if d.IsNVM(a) {
+		d.persistedLines[a.Line()] = struct{}{}
+	}
+	f := sim.NewFuture(d.k)
+	f.CompleteAt(d.occupy(d.ControllerFor(a)))
+	return f
+}
+
+// Persisted reports whether the line containing a has ever been written
+// to NVM, used by the transactions study to check durability invariants.
+func (d *DRAM) Persisted(a mem.Addr) bool {
+	_, ok := d.persistedLines[a.Line()]
+	return ok
+}
+
+// Accesses returns total line transfers (reads + writes).
+func (d *DRAM) Accesses() uint64 { return d.Reads + d.Writes }

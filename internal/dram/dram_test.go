@@ -1,0 +1,134 @@
+package dram
+
+import (
+	"testing"
+
+	"tako/internal/energy"
+	"tako/internal/mem"
+	"tako/internal/sim"
+)
+
+func newDRAM(cfg Config) (*sim.Kernel, *DRAM, *energy.Meter) {
+	k := sim.NewKernel()
+	meter := energy.NewMeter()
+	d := New(k, cfg, mem.NewMemory(), meter)
+	return k, d, meter
+}
+
+func TestReadLatency(t *testing.T) {
+	k, d, _ := newDRAM(DefaultConfig())
+	var l mem.Line
+	f := d.ReadLine(0x1000, &l)
+	k.Run()
+	if !f.Done() || f.When() != 100 {
+		t.Fatalf("read completed at %d, want 100", f.When())
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	k, d, _ := newDRAM(DefaultConfig())
+	var w mem.Line
+	w.SetWord(0, 0xabcd)
+	d.WriteLine(0x40, &w)
+	var r mem.Line
+	d.ReadLine(0x40, &r)
+	k.Run()
+	if r.Word(0) != 0xabcd {
+		t.Fatalf("readback = %x", r.Word(0))
+	}
+}
+
+func TestBandwidthSerializesOneController(t *testing.T) {
+	cfg := Config{Controllers: 1, Latency: 100, CyclesPerLine: 13}
+	k, d, _ := newDRAM(cfg)
+	var l mem.Line
+	f1 := d.ReadLine(0x00, &l)
+	f2 := d.ReadLine(0x40, &l)
+	f3 := d.ReadLine(0x80, &l)
+	k.Run()
+	if f1.When() != 100 || f2.When() != 113 || f3.When() != 126 {
+		t.Fatalf("completion times %d %d %d, want 100 113 126",
+			f1.When(), f2.When(), f3.When())
+	}
+	if d.StallCycles != 13+26 {
+		t.Fatalf("stall cycles = %d, want 39", d.StallCycles)
+	}
+}
+
+func TestInterleavingSpreadsControllers(t *testing.T) {
+	k, d, _ := newDRAM(DefaultConfig())
+	var l mem.Line
+	// Four consecutive lines hit four different controllers: all
+	// complete at the unloaded latency.
+	var futs []*sim.Future
+	for i := 0; i < 4; i++ {
+		futs = append(futs, d.ReadLine(mem.Addr(i*64), &l))
+	}
+	k.Run()
+	for i, f := range futs {
+		if f.When() != 100 {
+			t.Fatalf("line %d completed at %d, want 100 (parallel ctrls)", i, f.When())
+		}
+	}
+	for i, n := range d.PerCtrl {
+		if n != 1 {
+			t.Fatalf("controller %d served %d, want 1", i, n)
+		}
+	}
+}
+
+func TestEnergyAndStats(t *testing.T) {
+	k, d, meter := newDRAM(DefaultConfig())
+	var l mem.Line
+	d.ReadLine(0, &l)
+	d.WriteLine(64, &l)
+	k.Run()
+	if d.Reads != 1 || d.Writes != 1 || d.Accesses() != 2 {
+		t.Fatalf("reads=%d writes=%d", d.Reads, d.Writes)
+	}
+	if meter.Count(energy.DRAMAccess) != 2 {
+		t.Fatalf("dram energy events = %d", meter.Count(energy.DRAMAccess))
+	}
+	if meter.Count(energy.NVMWrite) != 0 {
+		t.Fatal("non-NVM write charged NVM energy")
+	}
+}
+
+func TestNVMAccounting(t *testing.T) {
+	k, d, meter := newDRAM(DefaultConfig())
+	r := mem.Region{Name: "nvm", Base: 0x1000, Size: 4096}
+	d.MarkNVM(r)
+	var l mem.Line
+	d.WriteLine(0x1000, &l)
+	d.WriteLine(0x0040, &l) // volatile
+	k.Run()
+	if meter.Count(energy.NVMWrite) != 1 {
+		t.Fatalf("nvm writes = %d, want 1", meter.Count(energy.NVMWrite))
+	}
+	if !d.Persisted(0x1008) {
+		t.Fatal("NVM line not marked persisted")
+	}
+	if d.Persisted(0x0040) {
+		t.Fatal("volatile line marked persisted")
+	}
+	if !d.IsNVM(0x1fff) || d.IsNVM(0x2000) {
+		t.Fatal("IsNVM bounds wrong")
+	}
+}
+
+func TestPhaseBreakdown(t *testing.T) {
+	k, d, _ := newDRAM(DefaultConfig())
+	var l mem.Line
+	d.SetPhase("edge")
+	d.ReadLine(0, &l)
+	d.ReadLine(64, &l)
+	d.SetPhase("vertex")
+	d.WriteLine(128, &l)
+	k.Run()
+	if d.PhaseAccesses["edge"] != 2 || d.PhaseAccesses["vertex"] != 1 {
+		t.Fatalf("phase accesses = %v", d.PhaseAccesses)
+	}
+	if d.Phase() != "vertex" {
+		t.Fatalf("phase = %q", d.Phase())
+	}
+}

@@ -1,0 +1,361 @@
+// Package engine models täkō's per-tile engines (§5.3): a hardware
+// scheduler with a bounded callback buffer and bitstream cache, plus a
+// spatial dataflow fabric of simple processing elements that executes
+// callbacks in SIMD fashion across cache lines.
+//
+// Callbacks are Go functions operating on a Ctx; their *timing* comes
+// from a static cost model declared per callback (dynamic instruction
+// count and dataflow critical path) checked against fabric capacity,
+// while their *memory* operations run through the modeled hierarchy via
+// the engine's coherent L1d, paying real latencies. This reproduces the
+// properties the paper's sensitivity studies probe: fabric size and PE
+// latency change compute time (Figs 22, 23), the callback buffer bounds
+// concurrency (§9), and an in-order-core engine serializes memory-level
+// parallelism and loses SIMD, which is why it "performs very poorly".
+package engine
+
+import (
+	"fmt"
+
+	"tako/internal/energy"
+	"tako/internal/hier"
+	"tako/internal/mem"
+	"tako/internal/sim"
+)
+
+// Config describes the engine microarchitecture (defaults: Table 3 /
+// §5.4).
+type Config struct {
+	FabricW, FabricH int       // PE grid (5×5)
+	MemPEs           int       // PEs with memory ports (10)
+	PELatency        sim.Cycle // arithmetic PE latency (1 cycle)
+	InstrPerPE       int       // instruction-memory slots per PE (16)
+	TokensPerPE      int       // token-store entries per PE (8)
+	CallbackBuffer   int       // concurrent callbacks (8)
+	BitstreamLoad    sim.Cycle // cycles to load a Morph's bitstream
+	BitstreamSlots   int       // Morphs resident in the bitstream cache
+
+	// InOrderCore replaces the fabric with an in-order scalar core
+	// (the alternative evaluated in Fig 22): no SIMD (line-wide ops
+	// pay per-element), higher per-instruction cost, and memory-level
+	// parallelism collapses (async loads execute synchronously).
+	InOrderCore bool
+	// Ideal removes all compute cost and concurrency limits; callback
+	// latency is memory latency and data dependencies only (§7).
+	Ideal bool
+
+	// SIMDWidth is the number of elements a fabric op processes at
+	// once (8 × 64-bit words per line).
+	SIMDWidth int
+	// InOrderCPI is the in-order core's cycles per instruction.
+	InOrderCPI sim.Cycle
+}
+
+// DefaultConfig returns the paper's engine: 5×5 fabric, 15 int + 10 mem
+// PEs, 1-cycle PEs, 8-entry callback buffer.
+func DefaultConfig() Config {
+	return Config{
+		FabricW: 5, FabricH: 5,
+		MemPEs:         10,
+		PELatency:      1,
+		InstrPerPE:     16,
+		TokensPerPE:    8,
+		CallbackBuffer: 8,
+		BitstreamLoad:  64,
+		BitstreamSlots: 4,
+		SIMDWidth:      8,
+		InOrderCPI:     2,
+	}
+}
+
+// IdealConfig returns the idealized engine used as the paper's upper
+// bound: unlimited, 0-cycle compute.
+func IdealConfig() Config {
+	c := DefaultConfig()
+	c.Ideal = true
+	return c
+}
+
+// IntPEs returns the number of arithmetic PEs.
+func (c Config) IntPEs() int {
+	n := c.FabricW*c.FabricH - c.MemPEs
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// TotalInstrSlots returns fabric instruction-memory capacity.
+func (c Config) TotalInstrSlots() int { return c.FabricW * c.FabricH * c.InstrPerPE }
+
+// TotalTokenSlots returns fabric token-store capacity.
+func (c Config) TotalTokenSlots() int { return c.FabricW * c.FabricH * c.TokensPerPE }
+
+// CallbackCost is the static dataflow mapping of one callback: its
+// dynamic instruction count and critical-path length in fabric ops.
+type CallbackCost struct {
+	Instrs   int
+	CritPath int
+}
+
+// Spec describes one runnable callback to the engine.
+type Spec struct {
+	Cost CallbackCost
+	// Sequential serializes all invocations of this callback on a
+	// tile (HATS sequentializes onMiss to protect its shared stack,
+	// §8.2); otherwise invocations serialize per address only.
+	Sequential bool
+	Fn         func(ctx *Ctx)
+}
+
+// Program resolves Morph callbacks for the engine; implemented by the
+// core täkō package.
+type Program interface {
+	// Spec returns the callback for (morphID, kind); ok=false if the
+	// Morph does not implement it.
+	Spec(morphID int, kind hier.CallbackKind) (Spec, bool)
+	// View returns the engine-local view of the Morph on this tile
+	// (per-engine state, §4.2).
+	View(morphID, tile int) interface{}
+}
+
+// Stats aggregates per-engine activity.
+type Stats struct {
+	Callbacks   uint64
+	Instrs      uint64
+	BusyCycles  sim.Cycle
+	BitLoads    uint64
+	MaxQueue    int
+	Interrupts  uint64
+	MemAccesses uint64
+}
+
+type engTile struct {
+	buffer    *sim.Semaphore
+	addrChain map[mem.Addr]*sim.Future
+	seqChain  map[int]*sim.Future // per-morph sequential chain
+	loaded    map[int]uint64      // bitstream cache: morphID -> last use
+	tick      uint64
+	nextFree  sim.Cycle // fabric issue-bandwidth pipeline
+	stats     Stats
+	queued    int
+}
+
+// Engines implements hier.Runner for every tile.
+type Engines struct {
+	k     *sim.Kernel
+	cfg   Config
+	prog  Program
+	meter *energy.Meter
+	h     *hier.Hierarchy
+	tiles []*engTile
+
+	// Interrupt delivers a user-space interrupt raised by a callback
+	// (§8.4); wired by the system to the victim thread's handler.
+	Interrupt func(tile, morphID int, addr mem.Addr)
+}
+
+// New builds engines for `tiles` tiles. The hierarchy is attached later
+// with AttachHierarchy (engines and hierarchy reference each other).
+func New(k *sim.Kernel, cfg Config, tiles int, prog Program, meter *energy.Meter) *Engines {
+	e := &Engines{k: k, cfg: cfg, prog: prog, meter: meter}
+	for i := 0; i < tiles; i++ {
+		e.tiles = append(e.tiles, &engTile{
+			buffer:    sim.NewSemaphore(k, maxInt(cfg.CallbackBuffer, 1)),
+			addrChain: make(map[mem.Addr]*sim.Future),
+			seqChain:  make(map[int]*sim.Future),
+			loaded:    make(map[int]uint64),
+		})
+	}
+	return e
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AttachHierarchy wires the hierarchy the engines load and store through.
+func (e *Engines) AttachHierarchy(h *hier.Hierarchy) { e.h = h }
+
+// Config returns the engine configuration.
+func (e *Engines) Config() Config { return e.cfg }
+
+// Stats returns tile's engine stats.
+func (e *Engines) Stats(tile int) Stats { return e.tiles[tile].stats }
+
+// TotalStats sums stats across engines.
+func (e *Engines) TotalStats() Stats {
+	var s Stats
+	for _, t := range e.tiles {
+		s.Callbacks += t.stats.Callbacks
+		s.Instrs += t.stats.Instrs
+		s.BusyCycles += t.stats.BusyCycles
+		s.BitLoads += t.stats.BitLoads
+		s.Interrupts += t.stats.Interrupts
+		s.MemAccesses += t.stats.MemAccesses
+		if t.stats.MaxQueue > s.MaxQueue {
+			s.MaxQueue = t.stats.MaxQueue
+		}
+	}
+	return s
+}
+
+// Saturated implements hier.Runner: the callback buffer is full.
+func (e *Engines) Saturated(tile int) bool {
+	if e.cfg.Ideal {
+		return false
+	}
+	return e.tiles[tile].buffer.Saturated()
+}
+
+// Run implements hier.Runner: schedule a callback on tile's engine.
+func (e *Engines) Run(tile int, kind hier.CallbackKind, b hier.Binding, addr mem.Addr, line *mem.Line) (accepted, done *sim.Future) {
+	t := e.tiles[tile]
+	spec, ok := e.prog.Spec(b.MorphID, kind)
+	if !ok {
+		// No such callback: complete immediately (hier normally
+		// filters these via the Binding Has* flags).
+		f := sim.CompletedFuture(e.k)
+		return f, f
+	}
+	accepted = sim.NewFuture(e.k)
+	done = sim.NewFuture(e.k)
+	t.queued++
+	if t.queued > t.stats.MaxQueue {
+		t.stats.MaxQueue = t.queued
+	}
+
+	// Serialization: per-address always; whole-callback if Sequential.
+	var waitOn *sim.Future
+	if spec.Sequential {
+		waitOn = t.seqChain[b.MorphID]
+		t.seqChain[b.MorphID] = done
+	} else {
+		waitOn = t.addrChain[addr]
+		t.addrChain[addr] = done
+	}
+
+	e.k.Go(fmt.Sprintf("cb:%s@%d", kind, tile), func(p *sim.Proc) {
+		if waitOn != nil {
+			p.Wait(waitOn)
+		}
+		if !e.cfg.Ideal {
+			t.buffer.Acquire(p)
+		}
+		accepted.Complete()
+		start := p.Now()
+		e.execute(p, t, tile, spec, b, kind, addr, line)
+		t.stats.BusyCycles += p.Now() - start
+		t.stats.Callbacks++
+		if !e.cfg.Ideal {
+			t.buffer.Release()
+		}
+		t.queued--
+		if spec.Sequential {
+			if t.seqChain[b.MorphID] == done {
+				delete(t.seqChain, b.MorphID)
+			}
+		} else if t.addrChain[addr] == done {
+			delete(t.addrChain, addr)
+		}
+		done.Complete()
+	})
+	return accepted, done
+}
+
+// execute runs one callback: bitstream load, fabric compute cost, and
+// the handler's real memory traffic.
+func (e *Engines) execute(p *sim.Proc, t *engTile, tile int, spec Spec, b hier.Binding, kind hier.CallbackKind, addr mem.Addr, line *mem.Line) {
+	if !e.cfg.Ideal {
+		e.ensureBitstream(p, t, b.MorphID)
+	}
+	ctx := &Ctx{
+		P: p, Tile: tile, Level: b.Level, Addr: addr, Line: line,
+		Kind: kind, MorphID: b.MorphID,
+		engines: e, tile: t,
+	}
+	if e.prog != nil {
+		ctx.view = e.prog.View(b.MorphID, tile)
+	}
+	spec.Fn(ctx)
+	e.chargeCompute(p, t, spec.Cost, ctx.extraOps)
+	t.stats.Instrs += uint64(spec.Cost.Instrs + ctx.extraOps)
+	if e.meter != nil {
+		e.meter.Add(energy.EngineInstr, uint64(spec.Cost.Instrs+ctx.extraOps))
+	}
+}
+
+// chargeCompute applies the fabric timing model to one invocation.
+//
+// Dataflow fabric: latency = max(critical path × PE latency, issue
+// occupancy), where occupancy = ceil(instrs / int PEs) × PE latency;
+// occupancy also serializes through the shared fabric pipeline, so
+// concurrent callbacks contend for issue bandwidth.
+//
+// In-order core: no SIMD (ops multiply by SIMDWidth) and CPI > 1; the
+// handler's memory ops were already serialized because async loads
+// degrade to synchronous ones (see Ctx.LoadLineAsync).
+func (e *Engines) chargeCompute(p *sim.Proc, t *engTile, cost CallbackCost, extraOps int) {
+	instrs := cost.Instrs + extraOps
+	if e.cfg.Ideal || instrs == 0 {
+		return
+	}
+	if e.cfg.InOrderCore {
+		p.Sleep(sim.Cycle(instrs) * e.cfg.InOrderCPI * sim.Cycle(e.cfg.SIMDWidth))
+		return
+	}
+	occ := sim.Cycle((instrs+e.cfg.IntPEs()-1)/e.cfg.IntPEs()) * e.cfg.PELatency
+	lat := sim.Cycle(cost.CritPath) * e.cfg.PELatency
+	if occ > lat {
+		lat = occ
+	}
+	start := p.Now()
+	if t.nextFree > start {
+		lat += t.nextFree - start
+	}
+	if t.nextFree < start {
+		t.nextFree = start
+	}
+	t.nextFree += occ
+	p.Sleep(lat)
+}
+
+// ensureBitstream charges the bitstream-cache lookup, loading the
+// Morph's configuration onto the fabric if it is not resident (§5.3).
+func (e *Engines) ensureBitstream(p *sim.Proc, t *engTile, morphID int) {
+	t.tick++
+	if _, ok := t.loaded[morphID]; ok {
+		t.loaded[morphID] = t.tick
+		return
+	}
+	if len(t.loaded) >= maxInt(e.cfg.BitstreamSlots, 1) {
+		var victim int
+		oldest := uint64(0)
+		first := true
+		for id, use := range t.loaded {
+			if first || use < oldest {
+				victim, oldest, first = id, use, false
+			}
+		}
+		delete(t.loaded, victim)
+	}
+	t.loaded[morphID] = t.tick
+	t.stats.BitLoads++
+	p.Sleep(e.cfg.BitstreamLoad)
+}
+
+// ValidateFit checks a Morph's callbacks fit the fabric's instruction
+// memory (the paper's largest Morph uses 94 of 400 slots, §5.3).
+func (e *Engines) ValidateFit(totalInstrs int) error {
+	if e.cfg.Ideal || e.cfg.InOrderCore {
+		return nil
+	}
+	if totalInstrs > e.cfg.TotalInstrSlots() {
+		return fmt.Errorf("engine: Morph needs %d instruction slots, fabric has %d",
+			totalInstrs, e.cfg.TotalInstrSlots())
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"testing"
+
+	"tako/internal/hier"
+	"tako/internal/mem"
+	"tako/internal/sim"
+)
+
+func TestBitstreamCacheEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BitstreamSlots = 1
+	spec := Spec{Cost: CallbackCost{Instrs: 1, CritPath: 1}, Fn: func(*Ctx) {}}
+	k, e := setup(cfg, spec)
+	var line mem.Line
+	// Two morphs alternate: each reuse evicts the other's bitstream.
+	b1 := hier.Binding{MorphID: 1, Level: hier.LevelPrivate, HasMiss: true}
+	b2 := hier.Binding{MorphID: 2, Level: hier.LevelPrivate, HasMiss: true}
+	for i := 0; i < 3; i++ {
+		e.Run(0, hier.CbMiss, b1, mem.Addr(0x1000+i*64), &line)
+		k.Run()
+		e.Run(0, hier.CbMiss, b2, mem.Addr(0x8000+i*64), &line)
+		k.Run()
+	}
+	if got := e.Stats(0).BitLoads; got != 6 {
+		t.Fatalf("bitstream loads = %d, want 6 (thrash with 1 slot)", got)
+	}
+}
+
+func TestTotalStatsAggregates(t *testing.T) {
+	spec := Spec{Cost: CallbackCost{Instrs: 5, CritPath: 2}, Fn: func(*Ctx) {}}
+	k, e := setup(DefaultConfig(), spec)
+	var line mem.Line
+	e.Run(0, hier.CbMiss, binding(), 0x1000, &line)
+	e.Run(1, hier.CbMiss, binding(), 0x2000, &line)
+	k.Run()
+	total := e.TotalStats()
+	if total.Callbacks != 2 || total.Instrs != 10 {
+		t.Fatalf("total stats: %+v", total)
+	}
+}
+
+func TestFabricOccupancyContention(t *testing.T) {
+	// Two concurrent callbacks with heavy instruction counts contend
+	// for issue bandwidth: the second finishes later than it would
+	// alone even though the callback buffer admits both.
+	cfg := DefaultConfig()
+	cfg.BitstreamLoad = 0
+	heavy := Spec{Cost: CallbackCost{Instrs: 150, CritPath: 2}, Fn: func(*Ctx) {}}
+	k, e := setup(cfg, heavy)
+	var line mem.Line
+	_, d1 := e.Run(0, hier.CbMiss, binding(), 0x1000, &line)
+	_, d2 := e.Run(0, hier.CbMiss, binding(), 0x2000, &line)
+	k.Run()
+	// occupancy = ceil(150/15) = 10 cycles each; one callback's issue
+	// window queues behind the other's.
+	last := d1.When()
+	if d2.When() > last {
+		last = d2.When()
+	}
+	if d1.When() == d2.When() {
+		t.Fatalf("no fabric contention: both finished at %d", d1.When())
+	}
+
+	// Alone, the same callback completes in its own occupancy.
+	k2, e2 := setup(cfg, heavy)
+	_, alone := e2.Run(0, hier.CbMiss, binding(), 0x1000, &line)
+	k2.Run()
+	if last <= alone.When() {
+		t.Fatalf("contended (%d) should exceed uncontended (%d)", last, alone.When())
+	}
+}
+
+func TestViewPlumbedToCallback(t *testing.T) {
+	type vstate struct{ n int }
+	spec := Spec{
+		Cost: CallbackCost{Instrs: 1, CritPath: 1},
+		Fn: func(ctx *Ctx) {
+			if v, ok := ctx.View().(*vstate); ok {
+				v.n++
+			}
+		},
+	}
+	k := sim.NewKernel()
+	prog := &fakeProg{spec: spec, views: map[int]interface{}{0: &vstate{}}}
+	e := New(k, DefaultConfig(), 1, prog, nil)
+	h := hier.New(k, hier.DefaultConfig(1), nil, nil, nil)
+	e.AttachHierarchy(h)
+	var line mem.Line
+	e.Run(0, hier.CbMiss, binding(), 0x1000, &line)
+	e.Run(0, hier.CbMiss, binding(), 0x2000, &line)
+	k.Run()
+	if prog.views[0].(*vstate).n != 2 {
+		t.Fatalf("view state n = %d", prog.views[0].(*vstate).n)
+	}
+}
+
+func TestConfigGeometry(t *testing.T) {
+	c := DefaultConfig()
+	if c.IntPEs() != 15 {
+		t.Fatalf("int PEs = %d, want 15", c.IntPEs())
+	}
+	if c.TotalInstrSlots() != 400 {
+		t.Fatalf("instr slots = %d, want 400 (Table 2)", c.TotalInstrSlots())
+	}
+	if c.TotalTokenSlots() != 200 {
+		t.Fatalf("token slots = %d, want 200", c.TotalTokenSlots())
+	}
+	tiny := Config{FabricW: 1, FabricH: 1, MemPEs: 5}
+	if tiny.IntPEs() != 1 {
+		t.Fatal("IntPEs should floor at 1")
+	}
+}

@@ -1,0 +1,271 @@
+package exp
+
+import (
+	"fmt"
+
+	"tako/internal/morphs"
+	"tako/internal/stats"
+)
+
+func decompParams(quick bool) morphs.DecompParams {
+	prm := morphs.DefaultDecompParams()
+	if quick {
+		prm.Tiles = 4
+	}
+	return prm
+}
+
+func phiParams(quick bool) morphs.PHIParams {
+	prm := morphs.DefaultPHIParams()
+	if quick {
+		prm.V, prm.E = 16*1024, 160*1024
+		prm.Tiles, prm.Threads = 8, 8
+	}
+	return prm
+}
+
+func hatsParams(quick bool) morphs.HATSParams {
+	prm := morphs.DefaultHATSParams()
+	if quick {
+		// Keep the default graph (vertex data must exceed the scaled
+		// LLC for the locality effects to exist) but fewer tiles.
+		prm.Tiles = 8
+	}
+	return prm
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Decompression: speedup and energy per variant",
+		Paper: "täkō 2.2x speedup, -61% energy; NDC hurts; within 1.1% of ideal",
+		Run: func(quick bool) (*stats.Table, error) {
+			res, err := morphs.RunDecompressionAll(decompParams(quick))
+			if err != nil {
+				return nil, err
+			}
+			base := res[morphs.DecompBaseline]
+			t := stats.NewTable("Fig 6 — decompression",
+				"variant", "cycles", "speedup", "energy(pJ)", "energy-vs-base")
+			for _, v := range morphs.AllDecompVariants {
+				r := res[v]
+				t.AddRowf(string(v), r.Cycles, r.Speedup(base), r.EnergyPJ,
+					pct(-r.EnergySaving(base)))
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Decompression: number of decompressions per variant",
+		Paper: "täkō memoizes: fewest decompressions; precompute does all values; baseline repeats per access",
+		Run: func(quick bool) (*stats.Table, error) {
+			res, err := morphs.RunDecompressionAll(decompParams(quick))
+			if err != nil {
+				return nil, err
+			}
+			t := stats.NewTable("Fig 7 — decompressions", "variant", "decompressions", "extra-memory(B)")
+			for _, v := range morphs.AllDecompVariants {
+				r := res[v]
+				t.AddRowf(string(v), int(r.Extra["decompressions"]), int(r.Extra["extra_memory_bytes"]))
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig13",
+		Title: "PHI: PageRank speedup and energy per variant",
+		Paper: "UB 3.2x, täkō 4.2x speedup; täkō -36% energy",
+		Run: func(quick bool) (*stats.Table, error) {
+			res, err := morphs.RunPHIAll(phiParams(quick))
+			if err != nil {
+				return nil, err
+			}
+			base := res[morphs.PHIBaseline]
+			t := stats.NewTable("Fig 13 — PHI PageRank",
+				"variant", "cycles", "speedup", "energy(pJ)", "energy-vs-base")
+			for _, v := range morphs.AllPHIVariants {
+				r := res[v]
+				t.AddRowf(string(v), r.Cycles, r.Speedup(base), r.EnergyPJ, pct(-r.EnergySaving(base)))
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig14",
+		Title: "PHI: DRAM accesses per PageRank phase",
+		Paper: "UB -43%, täkō -60% total DRAM accesses vs baseline",
+		Run: func(quick bool) (*stats.Table, error) {
+			res, err := morphs.RunPHIAll(phiParams(quick))
+			if err != nil {
+				return nil, err
+			}
+			base := res[morphs.PHIBaseline]
+			t := stats.NewTable("Fig 14 — DRAM accesses per phase",
+				"variant", "edge", "bin", "vertex", "total", "vs-base")
+			for _, v := range morphs.AllPHIVariants {
+				r := res[v]
+				total := r.DRAMPhase["edge"] + r.DRAMPhase["bin"] + r.DRAMPhase["vertex"]
+				t.AddRowf(string(v), r.DRAMPhase["edge"], r.DRAMPhase["bin"],
+					r.DRAMPhase["vertex"], total,
+					pct(stats.Ratio(float64(total), float64(base.DRAMAccesses))-1))
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig16",
+		Title: "HATS: PageRank speedup and energy per variant",
+		Paper: "täkō +43% speedup, -17% energy; software BDFS gives minimal benefit",
+		Run: func(quick bool) (*stats.Table, error) {
+			res, err := morphs.RunHATSAll(hatsParams(quick))
+			if err != nil {
+				return nil, err
+			}
+			base := res[morphs.HATSVertexOrdered]
+			t := stats.NewTable("Fig 16 — HATS PageRank",
+				"variant", "cycles", "speedup", "energy(pJ)", "energy-vs-base")
+			for _, v := range morphs.AllHATSVariants {
+				r := res[v]
+				t.AddRowf(string(v), r.Cycles, r.Speedup(base), r.EnergyPJ, pct(-r.EnergySaving(base)))
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig17",
+		Title: "HATS: DRAM per phase, mispredicts per edge, load latency",
+		Paper: "BDFS cuts edge-phase vertex misses; täkō regularizes core control flow; decoupling cuts load latency",
+		Run: func(quick bool) (*stats.Table, error) {
+			res, err := morphs.RunHATSAll(hatsParams(quick))
+			if err != nil {
+				return nil, err
+			}
+			t := stats.NewTable("Fig 17 — HATS breakdown",
+				"variant", "edge-dram", "log-dram", "vertex-dram", "mispred/edge", "mean-load-lat", "edges-logged")
+			for _, v := range morphs.AllHATSVariants {
+				r := res[v]
+				t.AddRowf(string(v), r.DRAMPhase["edge"], r.DRAMPhase["log"], r.DRAMPhase["vertex"],
+					r.Extra["mispredicts.per.edge"], r.Extra["load.mean"], int(r.Extra["edges.logged"]))
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig19",
+		Title: "NVM transactions: speedup and energy vs transaction size",
+		Paper: "up to 2.1x speedup and -47% energy while txns fit the L2; falls back near baseline at 128KB",
+		Run: func(quick bool) (*stats.Table, error) {
+			sizes := morphs.TxnSizes
+			tiles := 16
+			if quick {
+				sizes = []int{1 << 10, 16 << 10, 128 << 10}
+				tiles = 4
+			}
+			res, err := morphs.RunNVMSweep(sizes, tiles)
+			if err != nil {
+				return nil, err
+			}
+			t := stats.NewTable("Fig 19 — NVM transactions",
+				"txn-size", "base-cycles", "täkō-cycles", "ideal-cycles", "speedup", "energy-vs-base", "journaled-lines")
+			for i, size := range sizes {
+				base := res[morphs.NVMBaseline][i]
+				tako := res[morphs.NVMTako][i]
+				ideal := res[morphs.NVMIdeal][i]
+				t.AddRowf(fmt.Sprintf("%dKB", size/1024), base.Cycles, tako.Cycles, ideal.Cycles,
+					tako.Speedup(base), pct(-tako.EnergySaving(base)), int(tako.Extra["journaled_lines"]))
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig20",
+		Title: "NVM transactions: instructions per 8B written",
+		Paper: "täkō: ~50% fewer core instructions, ~36% fewer total",
+		Run: func(quick bool) (*stats.Table, error) {
+			sizes := morphs.TxnSizes
+			tiles := 16
+			if quick {
+				sizes = []int{1 << 10, 16 << 10, 128 << 10}
+				tiles = 4
+			}
+			res, err := morphs.RunNVMSweep(sizes, tiles)
+			if err != nil {
+				return nil, err
+			}
+			t := stats.NewTable("Fig 20 — instructions per 8B written",
+				"txn-size", "base-core", "täkō-core", "täkō-engine", "täkō-total", "core-reduction")
+			for i, size := range sizes {
+				base := res[morphs.NVMBaseline][i]
+				tako := res[morphs.NVMTako][i]
+				t.AddRowf(fmt.Sprintf("%dKB", size/1024),
+					base.Extra["instr_per_8B_core"],
+					tako.Extra["instr_per_8B_core"],
+					tako.Extra["instr_per_8B_total"]-tako.Extra["instr_per_8B_core"],
+					tako.Extra["instr_per_8B_total"],
+					pct(1-tako.Extra["instr_per_8B_core"]/base.Extra["instr_per_8B_core"]))
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig21",
+		Title: "Prime+probe attack: success without täkō, detection with",
+		Paper: "attack leaks the victim's sets unnoticed; täkō interrupts during the prime phase before any leak",
+		Run: func(quick bool) (*stats.Table, error) {
+			prm := morphs.DefaultSideChannelParams()
+			base, err := morphs.RunSideChannel(morphs.SCBaseline, prm)
+			if err != nil {
+				return nil, err
+			}
+			tako, err := morphs.RunSideChannel(morphs.SCTako, prm)
+			if err != nil {
+				return nil, err
+			}
+			t := stats.NewTable("Fig 21 — prime+probe on AES tables",
+				"variant", "detected", "detection-cycle", "hot-lines-identified", "false-positives", "interrupts")
+			t.AddRowf(string(morphs.SCBaseline), base.Detected, base.DetectionCycle,
+				fmt.Sprintf("%d/%d", base.TruePositives, prm.HotLines), base.FalsePositives,
+				int(base.Extra["interrupts"]))
+			t.AddRowf(string(morphs.SCTako), tako.Detected, tako.DetectionCycle,
+				fmt.Sprintf("%d/%d", tako.TruePositives, prm.HotLines), tako.FalsePositives,
+				int(tako.Extra["interrupts"]))
+			return t, nil
+		},
+	})
+}
+
+func init() {
+	register(Experiment{
+		ID:    "layout",
+		Title: "AoS→SoA layout Morph (extension; paper §5.2 example)",
+		Paper: "\"in a simple Morph that maps array-of-structs to struct-of-arrays, we have observed speedup of >4x\"",
+		Run: func(quick bool) (*stats.Table, error) {
+			prm := morphs.DefaultLayoutParams()
+			if !quick {
+				prm.Structs *= 2
+				prm.Passes = 4
+			}
+			res, err := morphs.RunLayoutAll(prm)
+			if err != nil {
+				return nil, err
+			}
+			base := res[morphs.LayoutBaseline]
+			t := stats.NewTable("§5.2 — AoS→SoA layout Morph",
+				"variant", "cycles", "speedup", "dram-accesses")
+			for _, v := range morphs.AllLayoutVariants {
+				r := res[v]
+				t.AddRowf(string(v), r.Cycles, r.Speedup(base), r.DRAMAccesses)
+			}
+			return t, nil
+		},
+	})
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"fmt"
+
+	"tako/internal/engine"
+	"tako/internal/hier"
+	"tako/internal/mem"
+	"tako/internal/stats"
+)
+
+// HardwareOverhead computes täkō's state overhead per L3 bank (Table 2)
+// from the modeled configuration.
+func HardwareOverhead(h hier.Config, e engine.Config) *stats.Table {
+	t := stats.NewTable("Table 2 — hardware overhead (state per L3 bank)", "component", "bytes", "detail")
+	bankLines := h.L3BankSize / mem.LineSize
+	tagBits := bankLines / 8 // one Morph bit per line
+	t.AddRowf("L3 Morph tag bits", tagBits, fmt.Sprintf("%d lines x 1 bit", bankLines))
+	t.AddRowf("Engine L1d", h.EngineL1Size, "coherent engine data cache")
+	tlbBytes := 2 * 1024
+	t.AddRowf("Engine TLB", tlbBytes, "engine-side translations")
+	rtlbBytes := h.RTLB.Entries * 8
+	t.AddRowf("Engine rTLB", rtlbBytes, fmt.Sprintf("%d entries", h.RTLB.Entries))
+	cbBytes := e.CallbackBuffer * mem.LineSize
+	t.AddRowf("Callback buffer", cbBytes, fmt.Sprintf("%d lines x 64 B", e.CallbackBuffer))
+	pes := e.FabricW * e.FabricH
+	tokenBytes := pes * e.TokensPerPE * mem.LineSize
+	t.AddRowf("Token store", tokenBytes, fmt.Sprintf("%d PEs x %d tokens x 64 B", pes, e.TokensPerPE))
+	instrBytes := pes * e.InstrPerPE * 4
+	t.AddRowf("Instruction memory", instrBytes, fmt.Sprintf("%d PEs x %d instr x 4 B", pes, e.InstrPerPE))
+	total := tagBits + h.EngineL1Size + tlbBytes + rtlbBytes + cbBytes + tokenBytes + instrBytes
+	t.AddRowf("Total per L3 bank", total,
+		fmt.Sprintf("%.1f%% of a %d KB bank", 100*float64(total)/float64(h.L3BankSize), h.L3BankSize/1024))
+	return t
+}
+
+// SystemParameters renders the modeled Table 3 configuration.
+func SystemParameters(h hier.Config, e engine.Config) *stats.Table {
+	t := stats.NewTable("Table 3 — system parameters", "component", "configuration")
+	t.AddRowf("Cores", fmt.Sprintf("%d tiles, OOO (Goldmont-class), mesh-connected", h.Tiles))
+	t.AddRowf("Engines", fmt.Sprintf("%d engines, %dx%d fabric (%d int + %d mem PEs), %d-cycle PEs, %d-entry rTLB",
+		h.Tiles, e.FabricW, e.FabricH, e.IntPEs(), e.MemPEs, e.PELatency, h.RTLB.Entries))
+	t.AddRowf("L1d", fmt.Sprintf("%d KB, %d-way, %d-cycle", h.L1Size/1024, h.L1Ways, h.L1Latency))
+	t.AddRowf("L2", fmt.Sprintf("%d KB, %d-way, %d-cycle tag / %d-cycle data, trrîp, strided prefetcher (degree %d)",
+		h.L2Size/1024, h.L2Ways, h.L2TagLat, h.L2DataLat, h.PrefetchDegree))
+	t.AddRowf("LLC", fmt.Sprintf("%d KB total (%d KB/bank), %d-way, %d/%d-cycle tag/data, inclusive, trrîp",
+		h.Tiles*h.L3BankSize/1024, h.L3BankSize/1024, h.L3Ways, h.L3TagLat, h.L3DataLat))
+	t.AddRowf("NoC", fmt.Sprintf("%dx%d mesh, %d B flits, %d/%d-cycle router/link",
+		h.NoC.Width, h.NoC.Height, h.NoC.FlitBytes, h.NoC.RouterDelay, h.NoC.LinkDelay))
+	t.AddRowf("Memory", fmt.Sprintf("%d controllers, %d-cycle latency, %d cycles/line bandwidth",
+		h.DRAM.Controllers, h.DRAM.Latency, h.DRAM.CyclesPerLine))
+	t.AddRowf("MSHRs / WB buffer", fmt.Sprintf("%d / %d per tile", h.MSHRsPerTile, h.WBBufPerTile))
+	t.AddRowf("Callback buffer", fmt.Sprintf("%d entries per engine", e.CallbackBuffer))
+	return t
+}
+
+func init() {
+	register(Experiment{
+		ID:    "table2",
+		Title: "Hardware overhead: state per L3 bank",
+		Paper: "27.1 KB per 512 KB bank = 5.3% state overhead",
+		Run: func(quick bool) (*stats.Table, error) {
+			return HardwareOverhead(hier.DefaultConfig(16), engine.DefaultConfig()), nil
+		},
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "System parameters",
+		Paper: "16 OOO cores, 128 KB L2, 8 MB inclusive LLC, 4x100-cycle memory controllers",
+		Run: func(quick bool) (*stats.Table, error) {
+			return SystemParameters(hier.DefaultConfig(16), engine.DefaultConfig()), nil
+		},
+	})
+}

@@ -1,0 +1,573 @@
+package hier
+
+import (
+	"fmt"
+
+	"tako/internal/cache"
+	"tako/internal/energy"
+	"tako/internal/mem"
+	"tako/internal/sim"
+)
+
+// accessOpts parameterizes one memory access.
+type accessOpts struct {
+	write    bool
+	engine   bool  // engine-issued: fills the engine L1d, trrîp demotion
+	viaL2    bool  // engine access routed through the tile's L2 (private callbacks)
+	cbLevel  Level // level of the issuing callback (engine accesses only)
+	prefetch bool  // hardware prefetch: fills the L2 only
+}
+
+// Load performs a demand load of the 8-byte word containing a from
+// tileID's core, returning its value. Must be called from a sim.Proc.
+func (h *Hierarchy) Load(p *sim.Proc, tileID int, a mem.Addr) uint64 {
+	start := p.Now()
+	ls := h.access(p, tileID, a, accessOpts{})
+	v := ls.Data.U64(a.Offset() &^ 7)
+	h.LoadLat.Observe(float64(p.Now() - start))
+	return v
+}
+
+// Store writes the 8-byte word containing a from tileID's core.
+func (h *Hierarchy) Store(p *sim.Proc, tileID int, a mem.Addr, v uint64) {
+	ls := h.access(p, tileID, a, accessOpts{write: true})
+	ls.Data.SetU64(a.Offset()&^7, v)
+	ls.Dirty = true
+}
+
+// LoadLine reads the full line containing a (a vector load).
+func (h *Hierarchy) LoadLine(p *sim.Proc, tileID int, a mem.Addr) mem.Line {
+	ls := h.access(p, tileID, a, accessOpts{})
+	return ls.Data
+}
+
+// StoreLine writes the full line containing a (a vector store).
+func (h *Hierarchy) StoreLine(p *sim.Proc, tileID int, a mem.Addr, line *mem.Line) {
+	ls := h.access(p, tileID, a, accessOpts{write: true})
+	ls.Data = *line
+	ls.Dirty = true
+}
+
+// StoreLineNT performs a non-temporal full-line store: the line is
+// written directly to the shared level (or memory) without
+// read-for-ownership or cache allocation, like MOVNTDQ streaming stores.
+// Update-batching implementations stream their bins this way.
+func (h *Hierarchy) StoreLineNT(p *sim.Proc, tileID int, a mem.Addr, line *mem.Line) {
+	la := a.Line()
+	// A full-line store supersedes all cached copies.
+	if e, ok := h.dir[la]; ok {
+		for s := 0; s < h.cfg.Tiles; s++ {
+			if e.has(s) {
+				h.invalidatePrivate(s, la)
+				e.remove(s)
+			}
+		}
+		delete(h.dir, la)
+	}
+	home := h.HomeTile(la)
+	unlock := h.lockHomeLine(p, la)
+	hm := h.tiles[home]
+	if ls3 := hm.l3.Lookup(la); ls3 != nil {
+		ls3.Data = *line
+		ls3.Dirty = true
+		h.Meter.Add(energy.L3Access, 1)
+	} else {
+		h.DRAM.WriteLine(la, line) // bypasses the cache entirely
+	}
+	h.Counters.Inc("nt.stores")
+	p.Sleep(h.Mesh.Transfer(tileID, home, mem.LineSize))
+	unlock()
+}
+
+// AtomicAddLocal performs a read-modify-write add in the local cache
+// (acquiring exclusive ownership like an ordinary atomic fetch-add).
+// Baselines without remote memory operations update shared data this
+// way, paying coherence ping-pong under contention.
+func (h *Hierarchy) AtomicAddLocal(p *sim.Proc, tileID int, a mem.Addr, delta uint64) {
+	ls := h.access(p, tileID, a, accessOpts{write: true})
+	off := a.Offset() &^ 7
+	ls.Data.SetU64(off, ls.Data.U64(off)+delta)
+	ls.Dirty = true
+}
+
+// AtomicRMOLocal performs a commutative read-modify-write with operator
+// op in the local cache (ordinary atomic semantics: the line migrates).
+func (h *Hierarchy) AtomicRMOLocal(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, v uint64) {
+	ls := h.access(p, tileID, a, accessOpts{write: true})
+	off := a.Offset() &^ 7
+	ls.Data.SetU64(off, op.apply(ls.Data.U64(off), v))
+	ls.Dirty = true
+}
+
+// AtomicExchange swaps the word at a with v locally (LL/SC-style, §8.2),
+// returning the previous value.
+func (h *Hierarchy) AtomicExchange(p *sim.Proc, tileID int, a mem.Addr, v uint64) uint64 {
+	ls := h.access(p, tileID, a, accessOpts{write: true})
+	off := a.Offset() &^ 7
+	old := ls.Data.U64(off)
+	ls.Data.SetU64(off, v)
+	ls.Dirty = true
+	return old
+}
+
+// access is the private-domain access path: L1 → L2 → shared level. It
+// returns the L1 (or engine-L1) line holding a, with write permission
+// when requested. The returned pointer is valid until the next sleep.
+func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *cache.LineState {
+	t := h.tiles[tileID]
+	la := a.Line()
+	h.checkEngineRestriction(tileID, a, o)
+	// Engines translate through their own TLB/rTLB (charged at the
+	// engine port); core accesses use the core dTLB.
+	if !o.engine {
+		if lat, hit := t.dtlb.Lookup(a); !hit {
+			p.Sleep(lat)
+		}
+	}
+	h.Meter.Add(energy.TLBAccess, 1)
+	for {
+		// Respect callback locks and in-flight fills on this line.
+		if f := t.pending[la]; f != nil {
+			p.Wait(f)
+			continue
+		}
+		top := t.l1
+		topName := "l1"
+		if o.engine {
+			top, topName = t.el1, "el1"
+		}
+		if !o.prefetch {
+			h.Meter.Add(energy.L1Access, 1)
+			p.Sleep(h.cfg.L1Latency)
+			if f := t.pending[la]; f != nil { // lock raced in during sleep
+				p.Wait(f)
+				continue
+			}
+			if ls := top.Lookup(a); ls != nil {
+				h.debugCheckFresh(tileID, la, "l1-hit")
+				if o.write && !h.hasExclusive(tileID, la) {
+					h.upgrade(p, tileID, la)
+					continue
+				}
+				top.Touch(a)
+				top.Stats.Hits++
+				h.Counters.Inc(topName + ".hits")
+				if o.write {
+					h.snoopSibling(tileID, la, o.engine)
+				}
+				return ls
+			}
+			top.Stats.Misses++
+			h.Counters.Inc(topName + ".misses")
+			// Clustered coherence (§4.3): the core and engine L1ds
+			// snoop within the tile. A miss in one that hits in the
+			// other migrates the line (with its dirty state) instead
+			// of fetching stale data from the shared level — the
+			// directory tracks the tile as one domain, so the home
+			// copy may be behind this tile's own sibling L1.
+			sib := t.el1
+			if o.engine {
+				sib = t.l1
+			}
+			if ls, ok := sib.ExtractLine(la); ok {
+				h.Counters.Inc("snoop.migrations")
+				h.Meter.Add(energy.L1Access, 1)
+				p.Sleep(h.cfg.L1Latency)
+				meta := fillMeta{phantom: ls.Phantom, dirty: ls.Dirty, engine: o.engine}
+				h.fillTop(tileID, a, &ls.Data, meta, o.engine)
+				// Retry from the top: the hit path applies write
+				// permission checks and replacement updates.
+				continue
+			}
+		}
+		// All accesses probe the tile's L2 (engines are clustered with
+		// it, §4.3); only core accesses and private-callback engine
+		// accesses allocate there on a miss.
+		allocL2 := !o.engine || o.viaL2
+		{
+			h.Meter.Add(energy.L2Access, 1)
+			p.Sleep(h.cfg.L2TagLat)
+			if f := t.pending[la]; f != nil {
+				p.Wait(f)
+				continue
+			}
+			if ls2 := t.l2.Lookup(a); ls2 != nil {
+				h.debugCheckFresh(tileID, la, "l2-hit")
+				if o.write && !h.hasExclusive(tileID, la) {
+					h.upgrade(p, tileID, la)
+					continue
+				}
+				p.Sleep(h.cfg.L2DataLat)
+				t.l2.Touch(a)
+				t.l2.Stats.Hits++
+				h.Counters.Inc("l2.hits")
+				ls2 = t.l2.Lookup(a)
+				if ls2 == nil {
+					continue // evicted during the data-array sleep
+				}
+				if o.prefetch {
+					return ls2
+				}
+				meta := fillMeta{phantom: ls2.Phantom, dirty: false, engine: o.engine}
+				h.fillTop(tileID, a, &ls2.Data, meta, o.engine)
+				if ls := top.Lookup(a); ls != nil {
+					if o.write {
+						h.snoopSibling(tileID, la, o.engine)
+					}
+					return ls
+				}
+				continue
+			}
+			t.l2.Stats.Misses++
+			h.Counters.Inc("l2.misses")
+			if !o.engine {
+				h.notifyPrefetcher(p, tileID, a)
+			}
+		}
+		// Private-domain miss: allocate an MSHR (core accesses only;
+		// engines have dedicated slots so callbacks can always make
+		// progress, §5.2) and fetch.
+		if f := t.pending[la]; f != nil {
+			p.Wait(f)
+			continue
+		}
+		usedMSHR := !o.engine && !o.prefetch
+		if usedMSHR {
+			t.mshr.Acquire(p)
+			if f := t.pending[la]; f != nil {
+				t.mshr.Release()
+				p.Wait(f)
+				continue
+			}
+		}
+		fut := sim.NewFuture(h.K)
+		t.pending[la] = fut
+		data, meta := h.fetchLine(p, tileID, a, o)
+		meta.engine = o.engine
+		if allocL2 {
+			// The L2 copy stays clean: dirtiness is tracked at the
+			// writing L1 and merged down on eviction, so a stale L2
+			// copy can never masquerade as the newest data.
+			l2meta := meta
+			l2meta.dirty = false
+			for !h.insertL2(tileID, a, &data, l2meta) {
+				p.Sleep(1)
+			}
+		}
+		if !o.prefetch {
+			topMeta := meta
+			topMeta.morph = false
+			h.fillTop(tileID, a, &data, topMeta, o.engine)
+		}
+		delete(t.pending, la)
+		if usedMSHR {
+			t.mshr.Release()
+		}
+		fut.Complete()
+		if o.prefetch {
+			return t.l2.Lookup(a)
+		}
+		if ls := top.Lookup(a); ls != nil {
+			if o.write {
+				h.snoopSibling(tileID, la, o.engine)
+			}
+			return ls
+		}
+		// Extremely rare: our fill was evicted before we returned.
+	}
+}
+
+// snoopSibling keeps the core and engine L1ds within a tile coherent: a
+// write in one invalidates the other's copy (clustered coherence, §4.3).
+func (h *Hierarchy) snoopSibling(tileID int, la mem.Addr, writerIsEngine bool) {
+	t := h.tiles[tileID]
+	sib := t.el1
+	if writerIsEngine {
+		sib = t.l1
+	}
+	if ls, ok := sib.ExtractLine(la); ok && ls.Dirty {
+		if ls2 := t.l2.Lookup(la); ls2 != nil {
+			ls2.Data = ls.Data
+			ls2.Dirty = true
+		}
+	}
+}
+
+// checkEngineRestriction enforces täkō's callback restriction (§4.3):
+// callbacks may not access data with a Morph registered at the same or
+// a higher level of the hierarchy. Violations are programming errors and
+// panic with a diagnostic.
+func (h *Hierarchy) checkEngineRestriction(tileID int, a mem.Addr, o accessOpts) {
+	if !o.engine || h.registry == nil {
+		return
+	}
+	b, ok := h.registry.Binding(a)
+	if !ok {
+		return
+	}
+	if o.cbLevel == LevelShared || (o.cbLevel == LevelPrivate && b.Level == LevelPrivate) {
+		panic(fmt.Sprintf(
+			"täkō restriction violated (§4.3): %v-level callback on tile %d accessed %v, which has a Morph registered at %v",
+			o.cbLevel, tileID, a, b.Level))
+	}
+}
+
+// lockHomeLine serializes with all home-side operations on la (fetches,
+// RMOs, other upgrades), returning the unlock function.
+func (h *Hierarchy) lockHomeLine(p *sim.Proc, la mem.Addr) func() {
+	hm := h.tiles[h.HomeTile(la)]
+	for {
+		f := hm.l3pending[la]
+		if f == nil {
+			break
+		}
+		p.Wait(f)
+	}
+	fut := sim.NewFuture(h.K)
+	hm.l3pending[la] = fut
+	return func() {
+		delete(hm.l3pending, la)
+		fut.Complete()
+	}
+}
+
+// upgrade obtains write permission for la on tileID: if other tiles hold
+// copies, they are invalidated through the home directory. It serializes
+// through the home-line lock: a concurrent fetch may have copied data
+// that is still in flight, and its copy must be visible for invalidation
+// before ownership changes hands.
+func (h *Hierarchy) upgrade(p *sim.Proc, tileID int, la mem.Addr) {
+	unlock := h.lockHomeLine(p, la)
+	defer unlock()
+	e, ok := h.dir[la]
+	if !ok || e.owner == tileID {
+		return
+	}
+	if e.sharers == 1<<uint(tileID) {
+		e.owner = tileID // sole sharer: silent upgrade
+		h.debugCheckFresh(tileID, la, "silent-upgrade")
+		return
+	}
+	home := h.HomeTile(la)
+	hm := h.tiles[home]
+	h.Counters.Inc("coh.upgrades")
+	var maxLat sim.Cycle
+	for s := 0; s < h.cfg.Tiles; s++ {
+		if s == tileID || !e.has(s) {
+			continue
+		}
+		data, dirty, present := h.invalidatePrivate(s, la)
+		if !present {
+			e.remove(s)
+			continue
+		}
+		h.Counters.Inc("coh.invalidations")
+		if dirty {
+			if ls3 := hm.l3.Lookup(la); ls3 != nil {
+				ls3.Data = data
+				ls3.Dirty = true
+				h.debugLogHome(la, fmt.Sprintf("upgrade-merge(from=%d)", s), data.U64(16))
+			}
+		}
+		lat := h.Mesh.Transfer(home, s, 8) + h.Mesh.Transfer(s, home, 8)
+		if lat > maxLat {
+			maxLat = lat
+		}
+		e.remove(s)
+	}
+	e.add(tileID)
+	e.owner = tileID
+	h.debugLogHome(la, fmt.Sprintf("upgrade-grant(%d)", tileID), 0)
+	h.debugCheckFresh(tileID, la, "upgrade")
+	p.Sleep(h.Mesh.Latency(tileID, home, 8) + maxLat + h.Mesh.Latency(home, tileID, 8))
+}
+
+// fetchLine obtains a's line for tileID's private domain on an L2 miss:
+// either by invoking a PRIVATE Morph's onMiss (phantom lines never touch
+// the levels below, §4.3) or from the shared level.
+func (h *Hierarchy) fetchLine(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) (mem.Line, fillMeta) {
+	la := a.Line()
+	if h.registry != nil {
+		if b, ok := h.registry.Binding(a); ok && b.Level == LevelPrivate {
+			var line mem.Line
+			if !b.Phantom {
+				// Real-address Morph: read backing data (the
+				// paper overlaps this with the callback; we
+				// serialize, see DESIGN.md).
+				line = h.fetchFromHome(p, tileID, a, o)
+			} else {
+				h.PhantomMissFills++
+			}
+			if b.HasMiss && h.runner != nil {
+				h.Counters.Inc("cb.onMiss")
+				h.Trace(fmt.Sprintf("l2.%d", tileID), "cb.onMiss", la.String())
+				_, done := h.runner.Run(tileID, CbMiss, b, la, &line)
+				p.Wait(done)
+			}
+			return line, fillMeta{morph: true, phantom: b.Phantom, dirty: o.write}
+		}
+	}
+	line := h.fetchFromHome(p, tileID, a, o)
+	return line, fillMeta{dirty: o.write}
+}
+
+// fetchFromHome performs the shared-level access for a private miss:
+// request to the home bank, L3 lookup (with SHARED Morph onMiss or DRAM
+// fill on miss), directory action, and the data response.
+func (h *Hierarchy) fetchFromHome(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) mem.Line {
+	la := a.Line()
+	home := h.HomeTile(a)
+	hm := h.tiles[home]
+	p.Sleep(h.Mesh.Transfer(tileID, home, 8))
+	for {
+		f := hm.l3pending[la]
+		if f == nil {
+			break
+		}
+		p.Wait(f)
+	}
+	fut := sim.NewFuture(h.K)
+	hm.l3pending[la] = fut
+	release := func() {
+		if hm.l3pending[la] == fut {
+			delete(hm.l3pending, la)
+		}
+		fut.Complete()
+	}
+
+	h.Meter.Add(energy.L3Access, 1)
+	p.Sleep(h.cfg.L3TagLat)
+	ls3 := hm.l3.Lookup(a)
+	if ls3 == nil {
+		hm.l3.Stats.Misses++
+		h.Counters.Inc("l3.misses")
+		var line mem.Line
+		// Engine fills and prefetched lines insert at distant
+		// re-reference priority in the shared cache (trrîp, §5.2):
+		// streamed-once data should not displace reused lines.
+		meta := fillMeta{engine: o.engine || o.prefetch}
+		handled := false
+		if h.registry != nil {
+			if b, ok := h.registry.Binding(a); ok && b.Level == LevelShared {
+				if b.Phantom {
+					h.PhantomMissFills++
+				} else {
+					f := h.DRAM.ReadLine(la, &line)
+					p.Wait(f)
+				}
+				if b.HasMiss && h.runner != nil {
+					h.Counters.Inc("cb.onMiss")
+					h.Trace(fmt.Sprintf("l3.%d", home), "cb.onMiss", la.String())
+					_, done := h.runner.Run(home, CbMiss, b, la, &line)
+					p.Wait(done)
+				}
+				meta.morph, meta.phantom = true, b.Phantom
+				// Morph lines are demand-bound even when a prefetch
+				// materialized them: insert at normal priority (only
+				// true engine-port fills demote).
+				meta.engine = o.engine
+				handled = true
+			}
+		}
+		if !handled {
+			f := h.DRAM.ReadLine(la, &line)
+			p.Wait(f)
+		}
+		for !h.insertL3(home, a, &line, meta) {
+			p.Sleep(1)
+		}
+		ls3 = hm.l3.Lookup(a)
+		if ls3 == nil {
+			// Our fill was immediately victimized; serve the data
+			// we fetched without caching it. The home line stays
+			// locked until the response lands so no other writer
+			// can race the in-flight data.
+			data := line
+			if merged := h.dirAction(p, tileID, la, o, nil); merged != nil {
+				data = *merged
+			}
+			p.Sleep(h.Mesh.Transfer(home, tileID, mem.LineSize))
+			release()
+			return data
+		}
+	} else {
+		hm.l3.Stats.Hits++
+		h.Counters.Inc("l3.hits")
+		// Lock the line before the data-array sleep so a concurrent
+		// insert cannot victimize it mid-access.
+		ls3.Locked = true
+		p.Sleep(h.cfg.L3DataLat)
+		hm.l3.Touch(a)
+	}
+	ls3.Locked = true
+	h.dirAction(p, tileID, la, o, ls3)
+	data := ls3.Data
+	// Hold the home-line lock through the data response: releasing
+	// earlier would let another requester modify the line while our
+	// (now stale) copy is still in flight, losing its update when we
+	// install the copy.
+	p.Sleep(h.Mesh.Transfer(home, tileID, mem.LineSize))
+	ls3.Locked = false
+	release()
+	return data
+}
+
+// dirAction performs the directory side of a fetch: invalidations for
+// writes, dirty-owner downgrades for reads. ls3 may be nil when the line
+// bypassed the L3 (its fill was immediately victimized); dirty data
+// merged from private copies is then written to memory and returned so
+// the requester still observes it. Functional changes are immediate;
+// latency is slept.
+func (h *Hierarchy) dirAction(p *sim.Proc, tileID int, la mem.Addr, o accessOpts, ls3 *cache.LineState) (merged *mem.Line) {
+	home := h.HomeTile(la)
+	e := h.dirOf(la)
+	var extra sim.Cycle
+	applyDirty := func(data mem.Line, site string) {
+		if ls3 != nil {
+			ls3.Data = data
+			ls3.Dirty = true
+		} else {
+			h.DRAM.WriteLine(la, &data)
+		}
+		d := data
+		merged = &d
+		h.debugLogHome(la, site, data.U64(16))
+	}
+	if o.write {
+		for s := 0; s < h.cfg.Tiles; s++ {
+			if s == tileID || !e.has(s) {
+				continue
+			}
+			data, dirty, present := h.invalidatePrivate(s, la)
+			if present {
+				h.Counters.Inc("coh.invalidations")
+				if dirty {
+					applyDirty(data, fmt.Sprintf("dirAction-inval-merge(from=%d)", s))
+				}
+				lat := h.Mesh.Transfer(home, s, 8) + h.Mesh.Transfer(s, home, 8)
+				if lat > extra {
+					extra = lat
+				}
+			}
+			e.remove(s)
+		}
+		e.add(tileID)
+		e.owner = tileID
+		h.debugLogHome(la, fmt.Sprintf("dirAction-write-grant(req=%d)", tileID), 0)
+	} else {
+		if e.owner >= 0 && e.owner != tileID {
+			data, dirty := h.downgradeOwner(e.owner, la)
+			if dirty {
+				applyDirty(data, fmt.Sprintf("dirAction-downgrade(owner=%d,req=%d)", e.owner, tileID))
+			}
+			h.Counters.Inc("coh.downgrades")
+			extra = h.Mesh.Transfer(home, e.owner, 8) + h.Mesh.Transfer(e.owner, home, mem.LineSize)
+			e.owner = -1
+		}
+		e.add(tileID)
+	}
+	if extra > 0 {
+		p.Sleep(extra)
+	}
+	return merged
+}

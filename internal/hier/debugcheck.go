@@ -1,0 +1,67 @@
+package hier
+
+import (
+	"fmt"
+
+	"tako/internal/mem"
+)
+
+// debugHomeLog records the last few mutations of each home line.
+var debugHomeLog = map[mem.Addr][]string{}
+
+func (h *Hierarchy) debugDir(la mem.Addr) string {
+	e, ok := h.dir[la]
+	if !ok {
+		return "dir{}"
+	}
+	return fmt.Sprintf("dir{sharers=%b owner=%d}", e.sharers, e.owner)
+}
+
+func (h *Hierarchy) debugLogHome(la mem.Addr, site string, w0 uint64) {
+	if !debugFreshChecks {
+		return
+	}
+	l := append(debugHomeLog[la], fmt.Sprintf("%s@%d w2=%d %s", site, h.K.Now(), w0, h.debugDir(la)))
+	if len(l) > 16 {
+		l = l[len(l)-16:]
+	}
+	debugHomeLog[la] = l
+}
+
+// debugCheckFresh panics if tileID holds a clean copy of la that differs
+// from the home L3 copy — a coherence bug. Enabled by tests.
+var debugFreshChecks = false
+
+// SetFreshChecks toggles expensive coherence-freshness assertions; tests
+// enable them to catch stale-copy bugs at their source.
+func SetFreshChecks(on bool) { debugFreshChecks = on }
+
+func (h *Hierarchy) debugCheckFresh(tileID int, la mem.Addr, where string) {
+	if !debugFreshChecks {
+		return
+	}
+	hm := h.tiles[h.HomeTile(la)]
+	ls3 := hm.l3.Lookup(la)
+	if ls3 == nil {
+		return
+	}
+	t := h.tiles[tileID]
+	// A dirty copy anywhere in the tile makes it the owner: its clean
+	// copies may legitimately be ahead of home (the dirty truth is in
+	// the same private domain and merges on eviction/downgrade).
+	for _, c := range t.privateCaches() {
+		if ls := c.Lookup(la); ls != nil && ls.Dirty {
+			return
+		}
+	}
+	for _, c := range t.privateCaches() {
+		if ls := c.Lookup(la); ls != nil && ls.Data != ls3.Data {
+			panic(fmt.Sprintf("STALE at %s: tile %d cache %v line %v local=%v home=%v\nhistory: %v",
+				where, tileID, c.Config().Name, la, ls.Data, ls3.Data, debugHomeLog[la]))
+		}
+	}
+}
+
+// DebugHomeHistory returns the recorded mutation history of a home line
+// (debug builds only).
+func DebugHomeHistory(la mem.Addr) []string { return debugHomeLog[la] }

@@ -1,0 +1,103 @@
+package hier
+
+import (
+	"tako/internal/mem"
+	"tako/internal/sim"
+)
+
+// Engine memory port (§5.3): callbacks access memory through the tile
+// engine's coherent L1d. Accesses from PRIVATE-level callbacks route
+// through the tile's L2 (clustered within the tile); SHARED-level
+// callbacks go from the engine L1d straight to the shared level, since
+// they run at the L3 bank. Fills issued here are marked engine fills so
+// trrîp inserts them at distant re-reference priority (§5.2).
+//
+// The engine's rTLB is consulted per access for timing; its reach only
+// needs to cover cached data (§6).
+
+func (h *Hierarchy) engineOpts(cbLevel Level, write bool) accessOpts {
+	return accessOpts{
+		write:   write,
+		engine:  true,
+		viaL2:   cbLevel == LevelPrivate,
+		cbLevel: cbLevel,
+	}
+}
+
+func (h *Hierarchy) engineTLB(p *sim.Proc, tileID int, a mem.Addr) {
+	t := h.tiles[tileID]
+	if lat, hit := t.rtlb.Lookup(a); !hit {
+		p.Sleep(lat)
+	}
+}
+
+// EngineLoadWord loads the 8-byte word containing a on tileID's engine.
+func (h *Hierarchy) EngineLoadWord(p *sim.Proc, tileID int, a mem.Addr, cbLevel Level) uint64 {
+	h.engineTLB(p, tileID, a)
+	ls := h.access(p, tileID, a, h.engineOpts(cbLevel, false))
+	return ls.Data.U64(a.Offset() &^ 7)
+}
+
+// EngineLoadLine loads the full line containing a on tileID's engine
+// (callback operations are line-wide SIMD, §5.3).
+func (h *Hierarchy) EngineLoadLine(p *sim.Proc, tileID int, a mem.Addr, cbLevel Level) mem.Line {
+	h.engineTLB(p, tileID, a)
+	ls := h.access(p, tileID, a, h.engineOpts(cbLevel, false))
+	return ls.Data
+}
+
+// EngineStoreWord writes the 8-byte word containing a on tileID's engine.
+func (h *Hierarchy) EngineStoreWord(p *sim.Proc, tileID int, a mem.Addr, v uint64, cbLevel Level) {
+	h.engineTLB(p, tileID, a)
+	ls := h.access(p, tileID, a, h.engineOpts(cbLevel, true))
+	ls.Data.SetU64(a.Offset()&^7, v)
+	ls.Dirty = true
+}
+
+// EngineStoreLine writes a full line on tileID's engine.
+func (h *Hierarchy) EngineStoreLine(p *sim.Proc, tileID int, a mem.Addr, data *mem.Line, cbLevel Level) {
+	h.engineTLB(p, tileID, a)
+	ls := h.access(p, tileID, a, h.engineOpts(cbLevel, true))
+	ls.Data = *data
+	ls.Dirty = true
+}
+
+// EngineAtomicAddWord performs a read-modify-write add on tileID's
+// engine (e.g. PHI applying buffered updates in place).
+func (h *Hierarchy) EngineAtomicAddWord(p *sim.Proc, tileID int, a mem.Addr, delta uint64, cbLevel Level) {
+	h.engineTLB(p, tileID, a)
+	ls := h.access(p, tileID, a, h.engineOpts(cbLevel, true))
+	off := a.Offset() &^ 7
+	ls.Data.SetU64(off, ls.Data.U64(off)+delta)
+	ls.Dirty = true
+}
+
+// EngineLoadLineAsync issues a non-blocking engine line fetch on a
+// spawned process, completing f when the line is resident. Dataflow
+// engines use this to expose memory-level parallelism within a callback
+// (§5.3).
+func (h *Hierarchy) EngineLoadLineAsync(tileID int, a mem.Addr, cbLevel Level, f *sim.Future) {
+	h.K.Go("engine-async-load", func(p *sim.Proc) {
+		h.EngineLoadLine(p, tileID, a, cbLevel)
+		f.Complete()
+	})
+}
+
+// EngineRMWWord performs a commutative read-modify-write with operator
+// op on tileID's engine (PHI-style in-place application for arbitrary
+// commutative operators).
+func (h *Hierarchy) EngineRMWWord(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, v uint64, cbLevel Level) {
+	h.engineTLB(p, tileID, a)
+	ls := h.access(p, tileID, a, h.engineOpts(cbLevel, true))
+	off := a.Offset() &^ 7
+	ls.Data.SetU64(off, op.apply(ls.Data.U64(off), v))
+	ls.Dirty = true
+}
+
+// EnginePersistLine writes a line durably: the data is stored through
+// the cache AND written to (NV)DRAM, modeling a write that must reach
+// the persistence domain (§8.3).
+func (h *Hierarchy) EnginePersistLine(p *sim.Proc, tileID int, a mem.Addr, data *mem.Line, cbLevel Level) {
+	h.EngineStoreLine(p, tileID, a, data, cbLevel)
+	p.Wait(h.DRAM.WriteLine(a.Line(), data))
+}

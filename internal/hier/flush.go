@@ -1,0 +1,128 @@
+package hier
+
+import (
+	"tako/internal/mem"
+	"tako/internal/sim"
+)
+
+// FlushRegion implements flushData (§4.4): walk the tag arrays at the
+// given level, evict every line in the region — triggering onWriteback
+// or onEviction for Morph lines — and block until all callbacks
+// complete, guaranteeing no further racing writes from callbacks.
+//
+// PRIVATE flushes walk tileID's L2; SHARED flushes walk every L3 bank.
+func (h *Hierarchy) FlushRegion(p *sim.Proc, tileID int, region mem.Region, level Level) {
+	h.Trace("flush", "flush.start", region.String())
+	var futs []*sim.Future
+	switch level {
+	case LevelPrivate:
+		h.flushPrivate(p, tileID, region, &futs)
+	case LevelShared:
+		for t := 0; t < h.cfg.Tiles; t++ {
+			h.flushBank(p, t, region, &futs)
+		}
+	default:
+		h.flushPrivate(p, tileID, region, &futs)
+		for t := 0; t < h.cfg.Tiles; t++ {
+			h.flushBank(p, t, region, &futs)
+		}
+	}
+	p.WaitAll(futs...)
+	// Callbacks triggered by evictions *before* this flush must also
+	// complete: flushData guarantees no further racing writes from any
+	// callback (§4.4).
+	h.cbInflight.Wait(p)
+	h.Trace("flush", "flush.done", region.String())
+}
+
+// flushPrivate evicts region's lines from one tile's private domain.
+func (h *Hierarchy) flushPrivate(p *sim.Proc, tileID int, region mem.Region, futs *[]*sim.Future) {
+	t := h.tiles[tileID]
+	// Tag-walk cost: the controller checks four tags per cycle.
+	p.Sleep(sim.Cycle(t.l2.NumSets()/4 + 1))
+	for {
+		lines := t.l2.LinesInRegion(region)
+		if len(lines) == 0 {
+			break
+		}
+		progressed := false
+		for _, la := range lines {
+			if f := t.pending[la]; f != nil {
+				p.Wait(f)
+				continue
+			}
+			ls, ok := t.l2.ExtractLine(la)
+			if !ok {
+				continue
+			}
+			progressed = true
+			h.Counters.Inc("flush.lines")
+			h.handleL2Eviction(tileID, ls, futs)
+		}
+		if !progressed {
+			p.Sleep(1)
+		}
+	}
+	// Lines cached above the L2 but inside the region (shouldn't
+	// happen thanks to inclusion, but cheap to enforce).
+	for _, c := range t.privateCaches() {
+		for _, la := range c.LinesInRegion(region) {
+			c.ExtractLine(la)
+		}
+	}
+}
+
+// flushBank evicts region's lines from one L3 bank.
+func (h *Hierarchy) flushBank(p *sim.Proc, bankID int, region mem.Region, futs *[]*sim.Future) {
+	hm := h.tiles[bankID]
+	p.Sleep(sim.Cycle(hm.l3.NumSets()/4 + 1))
+	for {
+		lines := hm.l3.LinesInRegion(region)
+		if len(lines) == 0 {
+			break
+		}
+		progressed := false
+		for _, la := range lines {
+			if f := hm.l3pending[la]; f != nil {
+				p.Wait(f)
+				continue
+			}
+			ls, ok := hm.l3.ExtractLine(la)
+			if !ok {
+				continue
+			}
+			progressed = true
+			h.Counters.Inc("flush.lines")
+			h.handleL3Eviction(bankID, ls, futs)
+		}
+		if !progressed {
+			p.Sleep(1)
+		}
+	}
+}
+
+// InvalidateRegion drops region's lines from every cache without
+// callbacks or writebacks; used when registering a Morph over existing
+// data so stale copies cannot bypass the new semantics (§4.1: "when a
+// Morph is registered or unregistered, its address range is flushed").
+// Dirty lines are written back to memory first to preserve their data.
+func (h *Hierarchy) InvalidateRegion(p *sim.Proc, region mem.Region) {
+	for _, t := range h.tiles {
+		for _, c := range t.privateCaches() {
+			for _, la := range c.LinesInRegion(region) {
+				if ls, ok := c.ExtractLine(la); ok && ls.Dirty {
+					h.DRAM.WriteLine(la, &ls.Data)
+				}
+			}
+		}
+		for _, la := range t.l3.LinesInRegion(region) {
+			if ls, ok := t.l3.ExtractLine(la); ok {
+				delete(h.dir, la)
+				if ls.Dirty {
+					h.DRAM.WriteLine(la, &ls.Data)
+				}
+			}
+		}
+		p.Sleep(sim.Cycle(t.l3.NumSets()))
+	}
+}

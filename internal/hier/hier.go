@@ -1,0 +1,378 @@
+// Package hier models the tiled cache hierarchy of the täkō multicore
+// (paper Fig 2, Table 3): per-tile L1d and private L2, a shared,
+// inclusive, banked L3 interleaved across tiles, a directory for
+// coherence between private domains, a mesh interconnect, and DRAM.
+//
+// täkō hooks: the hierarchy consults a Registry for Morph registrations
+// and invokes a Runner (the tile engine) on misses, evictions, and
+// writebacks of registered lines. Phantom lines are never written back
+// below their registration level — they are handed to their callback and
+// discarded (§4.3). Addresses are locked for the duration of a callback
+// by pending-line futures that later accesses must wait on.
+//
+// Modeling approach: simulated threads call blocking methods (Load,
+// Store, ...) from sim.Procs. Latency is charged with sleeps and queueing
+// (MSHRs, writeback buffers, DRAM bandwidth); functional state changes
+// apply atomically between sleeps so data results are exact while timing
+// is cycle-accounted.
+package hier
+
+import (
+	"fmt"
+
+	"tako/internal/cache"
+	"tako/internal/dram"
+	"tako/internal/energy"
+	"tako/internal/mem"
+	"tako/internal/noc"
+	"tako/internal/sim"
+	"tako/internal/stats"
+	"tako/internal/tlb"
+	"tako/internal/trace"
+)
+
+// Level identifies where in the hierarchy a Morph is registered (§4.1).
+type Level int
+
+// Morph registration levels.
+const (
+	LevelNone    Level = iota
+	LevelPrivate       // at the tile's private L2
+	LevelShared        // at the shared L3
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelPrivate:
+		return "PRIVATE"
+	case LevelShared:
+		return "SHARED"
+	default:
+		return "NONE"
+	}
+}
+
+// CallbackKind identifies which callback a cache event triggers (Table 1).
+type CallbackKind int
+
+// Callback kinds.
+const (
+	CbMiss      CallbackKind = iota // onMiss: generate data for the address
+	CbEviction                      // onEviction: handle clean eviction
+	CbWriteback                     // onWriteback: handle dirty eviction
+)
+
+func (k CallbackKind) String() string {
+	switch k {
+	case CbMiss:
+		return "onMiss"
+	case CbEviction:
+		return "onEviction"
+	case CbWriteback:
+		return "onWriteback"
+	}
+	return "?"
+}
+
+// Binding describes a Morph registration to the hierarchy.
+type Binding struct {
+	MorphID int
+	Level   Level
+	Phantom bool
+	Region  mem.Region
+	// HasMiss/HasEviction/HasWriteback say which callbacks the Morph
+	// implements, so the hierarchy skips scheduling empty ones.
+	HasMiss, HasEviction, HasWriteback bool
+	// Protected is the onReplacement extension (§4.5): when non-nil,
+	// victim selection avoids lines for which it returns true, unless
+	// no other candidate exists.
+	Protected func(mem.Addr) bool
+}
+
+// Registry resolves addresses to Morph bindings. Implemented by the core
+// täkō package; a nil registry means no Morphs (baseline hierarchy).
+type Registry interface {
+	Binding(a mem.Addr) (Binding, bool)
+}
+
+// Runner executes callbacks on a tile's engine. Implemented by the
+// engine/core packages.
+type Runner interface {
+	// Run schedules a callback. The returned accepted future completes
+	// when the engine's callback buffer admits the request (freeing
+	// the cache's writeback-buffer entry, §5.2); done completes when
+	// the callback finishes. For CbMiss the callback fills line; for
+	// evictions line holds the evicted data.
+	Run(tile int, kind CallbackKind, b Binding, addr mem.Addr, line *mem.Line) (accepted, done *sim.Future)
+	// Saturated reports whether the tile's callback buffer is full, in
+	// which case eviction prefers callback-free victims (§5.2).
+	Saturated(tile int) bool
+}
+
+// Config describes the hierarchy geometry and timing (defaults: Table 3).
+type Config struct {
+	Tiles int
+
+	L1Size, L1Ways             int
+	L2Size, L2Ways             int
+	L3BankSize, L3Ways         int
+	EngineL1Size, EngineL1Ways int
+
+	L1Latency           sim.Cycle
+	L2TagLat, L2DataLat sim.Cycle
+	L3TagLat, L3DataLat sim.Cycle
+
+	MSHRsPerTile    int
+	WBBufPerTile    int
+	RMOLimit        int // outstanding remote memory ops per tile
+	PrefetchDegree  int
+	PrefetchStreams int
+
+	// NewPolicy builds the replacement policy for each cache; nil
+	// means trrîp everywhere.
+	NewPolicy func() cache.Policy
+
+	NoC  noc.Config
+	DRAM dram.Config
+
+	RTLB tlb.Config
+}
+
+// DefaultConfig returns the Table 3 system for the given tile count.
+func DefaultConfig(tiles int) Config {
+	return Config{
+		Tiles:           tiles,
+		L1Size:          32 * 1024,
+		L1Ways:          8,
+		L2Size:          128 * 1024,
+		L2Ways:          8,
+		L3BankSize:      512 * 1024,
+		L3Ways:          16,
+		EngineL1Size:    8 * 1024,
+		EngineL1Ways:    8,
+		L1Latency:       1,
+		L2TagLat:        2,
+		L2DataLat:       4,
+		L3TagLat:        3,
+		L3DataLat:       5,
+		MSHRsPerTile:    16,
+		WBBufPerTile:    8,
+		RMOLimit:        16,
+		PrefetchDegree:  4,
+		PrefetchStreams: 8,
+		NoC:             noc.DefaultConfig(tiles),
+		DRAM:            dram.DefaultConfig(),
+		RTLB:            tlb.DefaultRTLBConfig(),
+	}
+}
+
+// ScaledConfig shrinks caches by factor (≥1) while keeping geometry
+// legal, for experiments that need data ≫ cache at small workload scales.
+func ScaledConfig(tiles, factor int) Config {
+	c := DefaultConfig(tiles)
+	shrink := func(size, ways int) int {
+		s := size / factor
+		min := ways * mem.LineSize
+		// Round down to a power-of-two multiple of the way size.
+		sets := s / min
+		p := 1
+		for p*2 <= sets {
+			p *= 2
+		}
+		if sets < 1 {
+			p = 1
+		}
+		return p * min
+	}
+	c.L1Size = shrink(c.L1Size, c.L1Ways)
+	c.L2Size = shrink(c.L2Size, c.L2Ways)
+	c.L3BankSize = shrink(c.L3BankSize, c.L3Ways)
+	// The engine L1d is part of the fixed engine microarchitecture
+	// (Table 2), not the scaled cache hierarchy.
+	return c
+}
+
+func log2(n int) uint {
+	var s uint
+	for 1<<(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+// stream is one detected prefetch stream (Table 3: strided prefetcher at
+// the L2).
+type stream struct {
+	lastLine   mem.Addr
+	stride     int64
+	confidence int
+	lastUse    uint64
+}
+
+// tile bundles one tile's private state.
+type tile struct {
+	id  int
+	l1  *cache.Cache // core L1d
+	el1 *cache.Cache // engine L1d
+	l2  *cache.Cache // private L2
+	l3  *cache.Cache // this tile's bank of the shared L3
+
+	mshr  *sim.Semaphore
+	wbbuf *sim.Semaphore
+	rmo   *sim.Semaphore
+
+	// pending serializes private-domain line operations: in-flight L2
+	// fills and callback locks. Accesses finding an entry wait, then
+	// retry.
+	pending map[mem.Addr]*sim.Future
+	// l3pending serializes home-bank operations on a line.
+	l3pending map[mem.Addr]*sim.Future
+
+	rmoInflight *sim.WaitGroup
+
+	streams          []stream
+	streamTick       uint64
+	prefetchInflight int
+
+	rtlb *tlb.TLB
+	dtlb *tlb.TLB
+}
+
+// Hierarchy is the full modeled memory system.
+type Hierarchy struct {
+	K     *sim.Kernel
+	Mesh  *noc.Mesh
+	DRAM  *dram.DRAM
+	Meter *energy.Meter
+
+	cfg      Config
+	registry Registry
+	runner   Runner
+	tiles    []*tile
+	dir      map[mem.Addr]*dirEntry
+
+	// cbInflight tracks all in-flight eviction/writeback callbacks so
+	// FlushRegion can block until every callback completes (§4.4).
+	cbInflight *sim.WaitGroup
+
+	// tracer records structured events when attached (nil = off).
+	tracer *trace.Tracer
+
+	// Counters holds named event counts (hits, misses, callbacks...).
+	Counters stats.Counters
+	// LoadLat records demand-load latencies from cores (Fig 17).
+	LoadLat stats.Dist
+	// Phantom DRAM-avoidance accounting.
+	PhantomMissFills uint64
+}
+
+// New builds a hierarchy. registry and runner may be nil (no Morphs).
+func New(k *sim.Kernel, cfg Config, meter *energy.Meter, registry Registry, runner Runner) *Hierarchy {
+	if cfg.Tiles <= 0 {
+		panic("hier: need at least one tile")
+	}
+	newPolicy := cfg.NewPolicy
+	if newPolicy == nil {
+		newPolicy = func() cache.Policy { return cache.NewTRRIP() }
+	}
+	h := &Hierarchy{
+		K:          k,
+		Mesh:       noc.NewMesh(cfg.NoC, meter),
+		DRAM:       dram.New(k, cfg.DRAM, mem.NewMemory(), meter),
+		Meter:      meter,
+		cfg:        cfg,
+		registry:   registry,
+		runner:     runner,
+		dir:        make(map[mem.Addr]*dirEntry),
+		cbInflight: sim.NewWaitGroup(k),
+	}
+	bankShift := log2(cfg.Tiles)
+	for i := 0; i < cfg.Tiles; i++ {
+		t := &tile{
+			id: i,
+			l1: cache.New(cache.Config{
+				Name: fmt.Sprintf("l1.%d", i), SizeBytes: cfg.L1Size, Ways: cfg.L1Ways,
+				Policy: newPolicy(),
+			}),
+			el1: cache.New(cache.Config{
+				Name: fmt.Sprintf("el1.%d", i), SizeBytes: cfg.EngineL1Size, Ways: cfg.EngineL1Ways,
+				Policy: newPolicy(),
+			}),
+			l2: cache.New(cache.Config{
+				Name: fmt.Sprintf("l2.%d", i), SizeBytes: cfg.L2Size, Ways: cfg.L2Ways,
+				Policy: newPolicy(),
+			}),
+			l3: cache.New(cache.Config{
+				Name: fmt.Sprintf("l3.%d", i), SizeBytes: cfg.L3BankSize, Ways: cfg.L3Ways,
+				IndexShift: bankShift, Policy: newPolicy(),
+			}),
+			mshr:        sim.NewSemaphore(k, cfg.MSHRsPerTile),
+			wbbuf:       sim.NewSemaphore(k, cfg.WBBufPerTile),
+			rmo:         sim.NewSemaphore(k, max(cfg.RMOLimit, 1)),
+			pending:     make(map[mem.Addr]*sim.Future),
+			l3pending:   make(map[mem.Addr]*sim.Future),
+			rmoInflight: sim.NewWaitGroup(k),
+			rtlb:        tlb.New(cfg.RTLB),
+			// 2 MB pages: täkō's phantom ranges make huge pages
+			// easy (§6), and the workloads assume them throughout.
+			dtlb: tlb.New(tlb.Config{
+				Name: fmt.Sprintf("dtlb.%d", i), Entries: 64, PageBits: 21,
+				HitLatency: 0, WalkLatency: 30,
+			}),
+		}
+		h.tiles = append(h.tiles, t)
+	}
+	return h
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Tiles returns the tile count.
+func (h *Hierarchy) Tiles() int { return h.cfg.Tiles }
+
+// HomeTile returns the L3 bank (tile) owning address a's line.
+func (h *Hierarchy) HomeTile(a mem.Addr) int {
+	return int((uint64(a) >> mem.LineShift) % uint64(h.cfg.Tiles))
+}
+
+// L1Stats, L2Stats, L3Stats expose per-tile cache stats for reports.
+func (h *Hierarchy) L1Stats(tile int) cache.Stats { return h.tiles[tile].l1.Stats }
+
+// L2Stats returns tile's private-L2 stats.
+func (h *Hierarchy) L2Stats(tile int) cache.Stats { return h.tiles[tile].l2.Stats }
+
+// L3Stats returns tile's L3 bank stats.
+func (h *Hierarchy) L3Stats(tile int) cache.Stats { return h.tiles[tile].l3.Stats }
+
+// RTLB returns the tile engine's reverse TLB (for sensitivity reports).
+func (h *Hierarchy) RTLB(tile int) *tlb.TLB { return h.tiles[tile].rtlb }
+
+// CheckMorphInvariants verifies the deadlock-avoidance invariant on every
+// cache (§5.2); property tests call it after workloads.
+func (h *Hierarchy) CheckMorphInvariants() error {
+	for _, t := range h.tiles {
+		for _, c := range []*cache.Cache{t.l2, t.l3} {
+			if err := c.CheckMorphInvariant(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AttachTracer wires a structured event tracer into the hierarchy; nil
+// disables tracing.
+func (h *Hierarchy) AttachTracer(t *trace.Tracer) { h.tracer = t }
+
+// Trace emits a trace event (no-op without an attached tracer).
+func (h *Hierarchy) Trace(component, kind, detail string) {
+	h.tracer.Emit(h.K.Now(), component, kind, detail)
+}

@@ -1,0 +1,265 @@
+package hier
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tako/internal/energy"
+	"tako/internal/mem"
+	"tako/internal/sim"
+	"tako/internal/trace"
+)
+
+func TestLoadLineStoreLineRoundTrip(t *testing.T) {
+	k, h := newH(2)
+	k.Go("core", func(p *sim.Proc) {
+		var line mem.Line
+		for i := 0; i < mem.WordsPerLine; i++ {
+			line.SetWord(i, uint64(100+i))
+		}
+		h.StoreLine(p, 0, 0x7000, &line)
+		got := h.LoadLine(p, 1, 0x7000) // cross-tile vector read
+		for i := 0; i < mem.WordsPerLine; i++ {
+			if got.Word(i) != uint64(100+i) {
+				t.Errorf("word %d = %d", i, got.Word(i))
+			}
+		}
+	})
+	k.Run()
+}
+
+func TestStoreLineNTBypassesAndSupersedes(t *testing.T) {
+	k, h := newH(2)
+	k.Go("core", func(p *sim.Proc) {
+		// Tile 1 caches the line first.
+		h.Store(p, 1, 0x8000, 5)
+		var line mem.Line
+		line.SetWord(0, 99)
+		h.StoreLineNT(p, 0, 0x8000, &line)
+		// The NT store superseded tile 1's dirty copy.
+		if v := h.Load(p, 1, 0x8000); v != 99 {
+			t.Errorf("after NT store, read %d, want 99", v)
+		}
+	})
+	k.Run()
+	if h.Counters.Get("nt.stores") != 1 {
+		t.Fatalf("nt.stores = %d", h.Counters.Get("nt.stores"))
+	}
+}
+
+func TestStoreLineNTToUncachedGoesToDRAM(t *testing.T) {
+	k, h := newH(2)
+	k.Go("core", func(p *sim.Proc) {
+		var line mem.Line
+		line.SetWord(3, 7)
+		h.StoreLineNT(p, 0, 0xA000, &line)
+	})
+	k.Run()
+	if h.DRAM.Store().ReadU64(0xA018) != 7 {
+		t.Fatal("NT store to uncached line did not reach memory")
+	}
+	if h.DRAM.Writes != 1 {
+		t.Fatalf("DRAM writes = %d, want 1 (no read-for-ownership)", h.DRAM.Writes)
+	}
+	if h.DRAM.Reads != 0 {
+		t.Fatalf("DRAM reads = %d, want 0", h.DRAM.Reads)
+	}
+}
+
+func TestEngineAtomicAddAndPersist(t *testing.T) {
+	k, h := newH(2)
+	k.Go("engine", func(p *sim.Proc) {
+		h.EngineAtomicAddWord(p, 0, 0xB000, 3, LevelPrivate)
+		h.EngineAtomicAddWord(p, 1, 0xB000, 4, LevelShared)
+		var line mem.Line
+		line.SetWord(0, 42)
+		h.EnginePersistLine(p, 0, 0xC000, &line, LevelPrivate)
+	})
+	k.Run()
+	if got := h.DebugReadWord(0xB000); got != 7 {
+		t.Fatalf("engine adds = %d, want 7", got)
+	}
+	// Persisted line must be in the backing store, not just caches.
+	if h.DRAM.Store().ReadU64(0xC000) != 42 {
+		t.Fatal("persist did not reach memory")
+	}
+}
+
+func TestInvalidateRegionDropsAndPreserves(t *testing.T) {
+	k, h := newH(2)
+	region := mem.Region{Name: "r", Base: 0xD000, Size: 256}
+	k.Go("core", func(p *sim.Proc) {
+		h.Store(p, 0, 0xD000, 11)
+		h.Store(p, 0, 0xD040, 22)
+		h.InvalidateRegion(p, region)
+	})
+	k.Run()
+	// Data survived (written back), but no cache holds it.
+	if h.DRAM.Store().ReadU64(0xD000) != 11 || h.DRAM.Store().ReadU64(0xD040) != 22 {
+		t.Fatal("invalidate lost dirty data")
+	}
+	for _, tl := range h.tiles {
+		for _, c := range tl.privateCaches() {
+			if c.Contains(0xD000) || c.Contains(0xD040) {
+				t.Fatal("region line still cached")
+			}
+		}
+		if tl.l3.Contains(0xD000) {
+			t.Fatal("region line still in L3")
+		}
+	}
+}
+
+func TestHomeTileInterleaving(t *testing.T) {
+	_, h := newH(4)
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		seen[h.HomeTile(mem.Addr(i*64))] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("consecutive lines map to %d homes, want 4", len(seen))
+	}
+	if h.HomeTile(0) != h.HomeTile(63) {
+		t.Fatal("same line, different homes")
+	}
+}
+
+func TestPrefetcherStreamReplacement(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig(1)
+	cfg.PrefetchStreams = 2
+	h := New(k, cfg, energy.NewMeter(), nil, nil)
+	k.Go("core", func(p *sim.Proc) {
+		// Three interleaved streams with only two stream slots: still
+		// no crash, and at least one stream trains.
+		for i := 0; i < 48; i++ {
+			base := mem.Addr(0x100_0000 * (1 + i%3))
+			h.Load(p, 0, base+mem.Addr((i/3)*64))
+		}
+	})
+	k.Run()
+	if len(h.tiles[0].streams) > 2 {
+		t.Fatalf("stream table grew to %d", len(h.tiles[0].streams))
+	}
+}
+
+func TestRMOBackpressure(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig(2)
+	cfg.RMOLimit = 2
+	h := New(k, cfg, energy.NewMeter(), nil, nil)
+	k.Go("core", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			h.AtomicAdd(p, 0, mem.Addr(0x9000+(i%4)*64), 1)
+		}
+		h.DrainRMOs(p, 0)
+	})
+	k.Run()
+	var total uint64
+	for i := 0; i < 4; i++ {
+		total += h.DebugReadWord(mem.Addr(0x9000 + i*64))
+	}
+	if total != 50 {
+		t.Fatalf("sum = %d, want 50", total)
+	}
+}
+
+// Property: a random single-tile op sequence matches a shadow map.
+func TestQuickSingleTileShadow(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		k := sim.NewKernel()
+		h := New(k, ScaledConfig(1, 8), energy.NewMeter(), nil, nil)
+		shadow := map[mem.Addr]uint64{}
+		ok := true
+		k.Go("core", func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < int(nOps)+16; i++ {
+				a := mem.Addr(0x4000 + rng.Intn(128)*8)
+				switch rng.Intn(4) {
+				case 0:
+					v := rng.Uint64()
+					h.Store(p, 0, a, v)
+					shadow[a] = v
+				case 1:
+					if got := h.Load(p, 0, a); got != shadow[a] {
+						ok = false
+					}
+				case 2:
+					h.AtomicAddLocal(p, 0, a, 3)
+					shadow[a] += 3
+				case 3:
+					old := h.AtomicExchange(p, 0, a, 9)
+					if old != shadow[a] {
+						ok = false
+					}
+					shadow[a] = 9
+				}
+			}
+		})
+		k.Run()
+		for a, v := range shadow {
+			if h.DebugReadWord(a) != v {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMorphInvariantAfterMixedTraffic(t *testing.T) {
+	region := mem.Region{Name: "ph", Base: 0x4000_0000_0000, Size: 1 << 20, Phantom: true}
+	reg := &fakeRegistry{bindings: []Binding{phantomBinding(region, LevelShared)}}
+	k := sim.NewKernel()
+	r := &fakeRunner{k: k, delay: 2}
+	h := New(k, ScaledConfig(2, 16), energy.NewMeter(), reg, r)
+	for tile := 0; tile < 2; tile++ {
+		tile := tile
+		k.Go("w", func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(int64(tile)))
+			for i := 0; i < 800; i++ {
+				if rng.Intn(2) == 0 {
+					h.AtomicAdd(p, tile, region.Base+mem.Addr(rng.Intn(4096)*64), 1)
+				} else {
+					h.Load(p, tile, mem.Addr(0x50_0000+rng.Intn(4096)*64))
+				}
+			}
+			h.DrainRMOs(p, tile)
+		})
+	}
+	k.Run()
+	if err := h.CheckMorphInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Blocked()) != 0 {
+		t.Fatalf("blocked: %v", k.Blocked())
+	}
+}
+
+func TestTracerCapturesCallbackEvents(t *testing.T) {
+	region := mem.Region{Name: "ph", Base: 0x4000_0000_0000, Size: 64 * 1024, Phantom: true}
+	reg := &fakeRegistry{bindings: []Binding{phantomBinding(region, LevelPrivate)}}
+	k, h, _ := newMorphH(2, reg)
+	tr := trace.New(256)
+	tr.Filter("cb.*", "flush.*")
+	h.AttachTracer(tr)
+	k.Go("core", func(p *sim.Proc) {
+		h.Load(p, 0, region.Base)
+		h.Store(p, 0, region.Base+64, 5)
+		h.FlushRegion(p, 0, region, LevelPrivate)
+	})
+	k.Run()
+	counts := tr.CountByKind()
+	if counts["cb.onMiss"] != 2 {
+		t.Fatalf("traced onMiss = %d, want 2 (counts %v)", counts["cb.onMiss"], counts)
+	}
+	if counts["cb.onWriteback"] != 1 || counts["cb.onEviction"] != 1 {
+		t.Fatalf("traced evictions: %v", counts)
+	}
+	if counts["flush.start"] != 1 || counts["flush.done"] != 1 {
+		t.Fatalf("flush events: %v", counts)
+	}
+}

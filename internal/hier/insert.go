@@ -1,0 +1,335 @@
+package hier
+
+import (
+	"fmt"
+
+	"tako/internal/cache"
+	"tako/internal/energy"
+	"tako/internal/mem"
+	"tako/internal/sim"
+)
+
+// fillMeta describes an incoming line to the insert paths.
+type fillMeta struct {
+	morph   bool // Morph registered at the receiving level
+	phantom bool
+	engine  bool // engine-issued fill (trrîp demotion)
+	dirty   bool
+}
+
+func (m fillMeta) opts() cache.FillOpts {
+	return cache.FillOpts{
+		Dirty:      m.dirty,
+		Morph:      m.morph,
+		Phantom:    m.phantom,
+		EngineFill: m.engine,
+	}
+}
+
+// insertL2 installs a line into tile's private L2, handling the evicted
+// victim. It never sleeps (functional effects are immediate; eviction
+// timing runs on spawned processes), so callers may treat it as atomic.
+// It returns false when every candidate way is locked; callers retry.
+func (h *Hierarchy) insertL2(tileID int, a mem.Addr, data *mem.Line, meta fillMeta) bool {
+	t := h.tiles[tileID]
+	opts := meta.opts()
+	// When writeback-buffer entries are exhausted, evicting a Morph
+	// line would stall on callback resources; prefer a callback-free
+	// victim instead (§5.2 deadlock avoidance). Software replacement
+	// hints (the onReplacement extension) are honored when possible.
+	constraint := cache.VictimConstraint{
+		CallbackFree: t.wbbuf.Saturated(),
+		Avoid:        h.protectedHint(),
+	}
+	way, ok := t.l2.ChooseVictimForInsert(a, opts, constraint)
+	if !ok {
+		way, ok = t.l2.ChooseVictimForInsert(a, opts, cache.VictimConstraint{})
+	}
+	if !ok {
+		return false
+	}
+	evicted := t.l2.FillAt(a, way, data, opts)
+	if evicted.Valid {
+		h.handleL2Eviction(tileID, evicted, nil)
+	}
+	return true
+}
+
+// handleL2Eviction processes a line evicted from tile's L2:
+// back-invalidates L1 copies, triggers Morph callbacks, and writes dirty
+// data back to the shared level. Functional state changes happen
+// immediately; latency and buffer occupancy are charged on a spawned
+// process. If futs is non-nil, a future completing when the eviction's
+// callback finishes is appended (used by flushData).
+func (h *Hierarchy) handleL2Eviction(tileID int, ev cache.LineState, futs *[]*sim.Future) {
+	t := h.tiles[tileID]
+	la := ev.Tag
+	// Back-invalidate the tile's L1 copies (inclusion), merging dirty
+	// data into the evicted line.
+	for _, c := range [2]*cache.Cache{t.l1, t.el1} {
+		if ls, ok := c.ExtractLine(la); ok && ls.Dirty {
+			ev.Data = ls.Data
+			ev.Dirty = true
+		}
+	}
+	if ev.Morph && h.registry != nil {
+		if b, ok := h.registry.Binding(la); ok {
+			h.morphEvictPrivate(tileID, ev, b, futs)
+			return
+		}
+	}
+	if ev.Phantom {
+		// A phantom line without a live Morph can only appear if a
+		// Morph was unregistered without flushing — a core-package
+		// bug.
+		panic(fmt.Sprintf("hier: phantom line %v evicted with no Morph bound", la))
+	}
+	if ev.Dirty {
+		h.writebackToShared(tileID, la, ev.Data)
+	} else {
+		h.removeSharerIfNoCopies(tileID, la)
+	}
+}
+
+// morphEvictPrivate runs the eviction/writeback callback for a
+// Morph-registered line leaving a private L2 (Table 1 semantics):
+// onWriteback for dirty lines, onEviction for clean ones; phantom lines
+// are then discarded, real lines written back (§4.3). The address stays
+// locked (pending) until the callback completes.
+func (h *Hierarchy) morphEvictPrivate(tileID int, ev cache.LineState, b Binding, futs *[]*sim.Future) {
+	t := h.tiles[tileID]
+	la := ev.Tag
+	kind := CbEviction
+	has := b.HasEviction
+	if ev.Dirty {
+		kind, has = CbWriteback, b.HasWriteback
+	}
+	// Real-address Morph lines keep load-store semantics: the dirty
+	// data reaches the backing store regardless of the callback.
+	if !b.Phantom && ev.Dirty {
+		h.writebackToShared(tileID, la, ev.Data)
+	}
+	if !has || h.runner == nil {
+		h.Counters.Inc("cb.skipped")
+		return
+	}
+	h.Counters.Inc("cb." + kind.String())
+	h.Trace(fmt.Sprintf("l2.%d", tileID), "cb."+kind.String(), la.String())
+	lock := sim.NewFuture(h.K)
+	t.pending[la] = lock
+	if futs != nil {
+		*futs = append(*futs, lock)
+	}
+	data := ev.Data
+	h.cbInflight.Add(1)
+	h.K.Go(fmt.Sprintf("evict-cb@%d", tileID), func(p *sim.Proc) {
+		t.wbbuf.Acquire(p)
+		accepted, done := h.runner.Run(tileID, kind, b, la, &data)
+		p.Wait(accepted)
+		t.wbbuf.Release()
+		p.Wait(done)
+		delete(t.pending, la)
+		lock.Complete()
+		h.cbInflight.Done()
+	})
+}
+
+// writebackToShared applies a dirty private line to its home L3 bank (or
+// DRAM if the L3 no longer holds it), immediately; transfer latency and
+// energy are charged asynchronously.
+func (h *Hierarchy) writebackToShared(tileID int, la mem.Addr, data mem.Line) {
+	home := h.HomeTile(la)
+	hm := h.tiles[home]
+	if ls3 := hm.l3.Lookup(la); ls3 != nil {
+		ls3.Data = data
+		ls3.Dirty = true
+		h.debugLogHome(la, fmt.Sprintf("writebackToShared(from=%d)", tileID), data.U64(16))
+	} else {
+		h.DRAM.WriteLine(la, &data)
+	}
+	if e, ok := h.dir[la]; ok && e.owner == tileID {
+		e.owner = -1
+	}
+	h.removeSharerIfNoCopies(tileID, la)
+	h.Counters.Inc("l2.writebacks")
+	h.Meter.Add(energy.L3Access, 1)
+	t := h.tiles[tileID]
+	h.K.Go("wb-timing", func(p *sim.Proc) {
+		t.wbbuf.Acquire(p)
+		p.Sleep(h.Mesh.Transfer(tileID, home, mem.LineSize))
+		t.wbbuf.Release()
+	})
+}
+
+// insertL3 installs a line into its home bank (tile homeID), handling
+// the victim: back-invalidation of private copies, Morph callbacks at
+// the home engine, and DRAM writeback. Non-blocking like insertL2.
+func (h *Hierarchy) insertL3(homeID int, a mem.Addr, data *mem.Line, meta fillMeta) bool {
+	hm := h.tiles[homeID]
+	opts := meta.opts()
+	constraint := cache.VictimConstraint{
+		CallbackFree: hm.wbbuf.Saturated(),
+		Avoid:        h.protectedHint(),
+	}
+	way, ok := hm.l3.ChooseVictimForInsert(a, opts, constraint)
+	if !ok {
+		way, ok = hm.l3.ChooseVictimForInsert(a, opts, cache.VictimConstraint{})
+	}
+	if !ok {
+		return false
+	}
+	evicted := hm.l3.FillAt(a, way, data, opts)
+	h.debugLogHome(a.Line(), "insertL3", data.U64(16))
+	if evicted.Valid {
+		h.debugLogHome(evicted.Tag, "l3-evict", evicted.Data.U64(16))
+		h.handleL3Eviction(homeID, evicted, nil)
+	}
+	return true
+}
+
+// handleL3Eviction processes a line leaving the shared cache:
+// back-invalidate all private copies (inclusive hierarchy), run the
+// SHARED Morph callback if registered, write dirty data to memory.
+func (h *Hierarchy) handleL3Eviction(homeID int, ev cache.LineState, futs *[]*sim.Future) {
+	la := ev.Tag
+	if e, ok := h.dir[la]; ok {
+		for s := 0; s < h.cfg.Tiles; s++ {
+			if !e.has(s) {
+				continue
+			}
+			data, dirty, present := h.invalidatePrivate(s, la)
+			if dirty {
+				ev.Data = data
+				ev.Dirty = true
+			}
+			if present {
+				h.Counters.Inc("l3.backinval")
+				h.Mesh.Transfer(homeID, s, 8)
+				bytes := 8
+				if dirty {
+					bytes = mem.LineSize
+				}
+				h.Mesh.Transfer(s, homeID, bytes)
+			}
+		}
+		delete(h.dir, la)
+	}
+	if ev.Morph && h.registry != nil {
+		if b, ok := h.registry.Binding(la); ok {
+			h.morphEvictShared(homeID, ev, b, futs)
+			return
+		}
+	}
+	if ev.Phantom {
+		panic(fmt.Sprintf("hier: phantom line %v in L3 with no Morph bound", la))
+	}
+	if ev.Dirty {
+		h.Counters.Inc("l3.writebacks")
+		h.DRAM.WriteLine(la, &ev.Data) // timing tracked inside DRAM
+	}
+}
+
+// morphEvictShared is the L3 counterpart of morphEvictPrivate.
+func (h *Hierarchy) morphEvictShared(homeID int, ev cache.LineState, b Binding, futs *[]*sim.Future) {
+	hm := h.tiles[homeID]
+	la := ev.Tag
+	kind := CbEviction
+	has := b.HasEviction
+	if ev.Dirty {
+		kind, has = CbWriteback, b.HasWriteback
+	}
+	if !b.Phantom && ev.Dirty {
+		h.DRAM.WriteLine(la, &ev.Data)
+	}
+	if !has || h.runner == nil {
+		h.Counters.Inc("cb.skipped")
+		return
+	}
+	h.Counters.Inc("cb." + kind.String())
+	h.Trace(fmt.Sprintf("l3.%d", homeID), "cb."+kind.String(), la.String())
+	lock := sim.NewFuture(h.K)
+	if futs != nil {
+		*futs = append(*futs, lock)
+	}
+	data := ev.Data
+	h.cbInflight.Add(1)
+	h.K.Go(fmt.Sprintf("l3evict-cb@%d", homeID), func(p *sim.Proc) {
+		// Queue politely behind any in-flight home-side operation on
+		// this line rather than clobbering its lock.
+		for {
+			f := hm.l3pending[la]
+			if f == nil {
+				break
+			}
+			p.Wait(f)
+		}
+		hm.l3pending[la] = lock
+		hm.wbbuf.Acquire(p)
+		accepted, done := h.runner.Run(homeID, kind, b, la, &data)
+		p.Wait(accepted)
+		hm.wbbuf.Release()
+		p.Wait(done)
+		if hm.l3pending[la] == lock {
+			delete(hm.l3pending, la)
+		}
+		lock.Complete()
+		h.cbInflight.Done()
+	})
+}
+
+// fillTop installs a line into the core (or engine) L1, merging any
+// evicted dirty victim into the L2 (inclusion guarantees the L2 holds
+// it, except for engine lines fetched around the L2, which write back to
+// the shared level).
+func (h *Hierarchy) fillTop(tileID int, a mem.Addr, data *mem.Line, meta fillMeta, engine bool) {
+	t := h.tiles[tileID]
+	top := t.l1
+	if engine {
+		top = t.el1
+	}
+	// A racing access on this tile may have installed the line while
+	// we slept at a lower level: update in place rather than creating
+	// a duplicate. A dirty resident copy is newer than anything we
+	// fetched — keep it.
+	if ls := top.Lookup(a); ls != nil {
+		if !ls.Dirty {
+			ls.Data = *data
+			ls.Dirty = meta.dirty
+		}
+		return
+	}
+	opts := cache.FillOpts{Dirty: meta.dirty, Phantom: meta.phantom, EngineFill: engine}
+	way, ok := top.ChooseVictim(a, cache.VictimConstraint{})
+	if !ok {
+		return // pathological: every way locked; line stays in L2 only
+	}
+	evicted := top.FillAt(a, way, data, opts)
+	if !evicted.Valid {
+		return
+	}
+	if evicted.Dirty {
+		if ls2 := t.l2.Lookup(evicted.Tag); ls2 != nil {
+			ls2.Data = evicted.Data
+			ls2.Dirty = true
+		} else {
+			// Engine line fetched around the L2 (shared-callback
+			// path): write back to the shared level directly.
+			h.writebackToShared(tileID, evicted.Tag, evicted.Data)
+		}
+	} else {
+		h.removeSharerIfNoCopies(tileID, evicted.Tag)
+	}
+}
+
+// protectedHint builds the victim-selection Avoid hook from Morph
+// replacement hints (the onReplacement extension, §4.5). Returns nil when
+// no registry is attached.
+func (h *Hierarchy) protectedHint() func(mem.Addr) bool {
+	if h.registry == nil {
+		return nil
+	}
+	return func(tag mem.Addr) bool {
+		b, ok := h.registry.Binding(tag)
+		return ok && b.Protected != nil && b.Protected(tag)
+	}
+}

@@ -1,0 +1,190 @@
+package hier
+
+import (
+	"fmt"
+
+	"tako/internal/energy"
+	"tako/internal/mem"
+	"tako/internal/sim"
+)
+
+// RMOOp is a commutative reduction operator for remote memory
+// operations. PHI supports any commutative update ("e.g., addition",
+// §8.1); min/max enable label-propagation algorithms like connected
+// components.
+type RMOOp int
+
+// Supported commutative operators.
+const (
+	RMOAdd RMOOp = iota
+	RMOMin
+	RMOMax
+)
+
+func (op RMOOp) apply(old, v uint64) uint64 {
+	switch op {
+	case RMOMin:
+		if v < old {
+			return v
+		}
+		return old
+	case RMOMax:
+		if v > old {
+			return v
+		}
+		return old
+	default:
+		return old + v
+	}
+}
+
+// AtomicAdd issues a relaxed remote memory operation (RMO, §8.1): a
+// commutative add pushed to the shared level (or the SHARED Morph's
+// lines), executing asynchronously off the core's critical path. The
+// core only pays the issue cost; completion is tracked per tile and
+// drained by DrainRMOs. Outstanding RMOs per tile are bounded by the
+// RMOLimit semaphore — the issuing process blocks when it is exhausted.
+func (h *Hierarchy) AtomicAdd(p *sim.Proc, tileID int, a mem.Addr, delta uint64) {
+	h.AtomicRMO(p, tileID, a, RMOAdd, delta)
+}
+
+// AtomicRMO issues a relaxed remote memory operation with an arbitrary
+// commutative operator.
+func (h *Hierarchy) AtomicRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, v uint64) {
+	t := h.tiles[tileID]
+	t.rmo.Acquire(p) // backpressure: bounded in-flight RMOs
+	t.rmoInflight.Add(1)
+	h.Counters.Inc("rmo.issued")
+	h.K.Go(fmt.Sprintf("rmo@%d", tileID), func(pp *sim.Proc) {
+		h.runRMO(pp, tileID, a, op, v)
+		t.rmo.Release()
+		t.rmoInflight.Done()
+	})
+}
+
+// AtomicAddSync performs a blocking remote add (used by baselines
+// without RMO support to model an ordinary atomic over the shared
+// level).
+func (h *Hierarchy) AtomicAddSync(p *sim.Proc, tileID int, a mem.Addr, delta uint64) {
+	h.Counters.Inc("rmo.issued")
+	h.runRMO(p, tileID, a, RMOAdd, delta)
+}
+
+// AtomicRMOSync is the blocking form of AtomicRMO.
+func (h *Hierarchy) AtomicRMOSync(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, v uint64) {
+	h.Counters.Inc("rmo.issued")
+	h.runRMO(p, tileID, a, op, v)
+}
+
+// runRMO executes the add at the home bank. Misses on SHARED Morph lines
+// trigger onMiss (phantom lines are materialized in-cache with no memory
+// access — PHI's key property); plain lines are fetched from DRAM.
+func (h *Hierarchy) runRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, delta uint64) {
+	la := a.Line()
+	home := h.HomeTile(a)
+	hm := h.tiles[home]
+	p.Sleep(h.Mesh.Transfer(tileID, home, 16)) // address + operand
+	for {
+		f := hm.l3pending[la]
+		if f == nil {
+			break
+		}
+		p.Wait(f)
+	}
+	fut := sim.NewFuture(h.K)
+	hm.l3pending[la] = fut
+	defer func() {
+		if hm.l3pending[la] == fut {
+			delete(hm.l3pending, la)
+		}
+		fut.Complete()
+	}()
+
+	h.Meter.Add(energy.L3Access, 1)
+	p.Sleep(h.cfg.L3TagLat)
+	ls3 := hm.l3.Lookup(a)
+	if ls3 == nil {
+		h.Counters.Inc("rmo.misses")
+		var line mem.Line
+		meta := fillMeta{}
+		handled := false
+		if h.registry != nil {
+			if b, ok := h.registry.Binding(a); ok && b.Level == LevelShared {
+				if b.Phantom {
+					h.PhantomMissFills++
+				} else {
+					p.Wait(h.DRAM.ReadLine(la, &line))
+				}
+				if b.HasMiss && h.runner != nil {
+					h.Counters.Inc("cb.onMiss")
+					_, done := h.runner.Run(home, CbMiss, b, la, &line)
+					p.Wait(done)
+				}
+				meta.morph, meta.phantom = true, b.Phantom
+				handled = true
+			}
+		}
+		if !handled {
+			p.Wait(h.DRAM.ReadLine(la, &line))
+		}
+		for !h.insertL3(home, a, &line, meta) {
+			p.Sleep(1)
+		}
+		ls3 = hm.l3.Lookup(a)
+		if ls3 == nil {
+			// Fill immediately victimized under extreme pressure:
+			// invalidate any private copies (merging dirty data) and
+			// apply the update straight to memory.
+			if e, ok := h.dir[la]; ok {
+				for s := 0; s < h.cfg.Tiles; s++ {
+					if e.has(s) {
+						if data, dirty, _ := h.invalidatePrivate(s, la); dirty {
+							line = data
+						}
+						e.remove(s)
+					}
+				}
+				delete(h.dir, la)
+			}
+			off := a.Offset() &^ 7
+			line.SetU64(off, op.apply(line.U64(off), delta))
+			h.DRAM.WriteLine(la, &line)
+			return
+		}
+	} else {
+		h.Counters.Inc("rmo.hits")
+		// Lock before the data-array sleep so a concurrent insert
+		// cannot victimize the line mid-update.
+		ls3.Locked = true
+		p.Sleep(h.cfg.L3DataLat)
+		hm.l3.Touch(a)
+	}
+	ls3.Locked = true
+	defer func() { ls3.Locked = false }()
+	// Invalidate stale private copies so the home copy is authoritative.
+	if e, ok := h.dir[la]; ok {
+		for s := 0; s < h.cfg.Tiles; s++ {
+			if e.has(s) {
+				if data, dirty, present := h.invalidatePrivate(s, la); present {
+					h.Counters.Inc("coh.invalidations")
+					if dirty {
+						ls3.Data = data
+					}
+					h.Mesh.Transfer(home, s, 8)
+				}
+				e.remove(s)
+			}
+		}
+		e.owner = -1
+		delete(h.dir, la)
+	}
+	off := a.Offset() &^ 7
+	ls3.Data.SetU64(off, op.apply(ls3.Data.U64(off), delta))
+	ls3.Dirty = true
+}
+
+// DrainRMOs blocks until every RMO issued by tileID has completed (used
+// before flushData so no update is lost, §8.1).
+func (h *Hierarchy) DrainRMOs(p *sim.Proc, tileID int) {
+	h.tiles[tileID].rmoInflight.Wait(p)
+}

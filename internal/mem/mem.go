@@ -1,0 +1,140 @@
+// Package mem provides the memory substrate for the täkō simulator:
+// physical addresses, 64-byte cache lines with typed accessors, a sparse
+// backing store, and an address-space allocator that distinguishes real
+// (memory-backed) regions from phantom regions, which exist only in
+// caches and are materialized by Morph callbacks (täkō §4.1).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Addr is a (physical) memory address. The simulator uses a single flat
+// address space; virtual addresses equal physical addresses except for
+// phantom ranges, which have no backing frames at all.
+type Addr uint64
+
+const (
+	// LineSize is the cache line size in bytes (Table 3: 64 B lines).
+	LineSize = 64
+	// LineShift is log2(LineSize).
+	LineShift = 6
+	// WordsPerLine is the number of 64-bit words per line.
+	WordsPerLine = LineSize / 8
+	// PageSize is the (huge) page granularity used for allocation and
+	// TLB modeling. The paper uses 2 MB pages for phantom data (§9);
+	// we default allocation alignment to 4 KB and let the TLB model
+	// choose its page size.
+	PageSize = 4096
+)
+
+// Line returns the line-aligned address containing a.
+func (a Addr) Line() Addr { return a &^ (LineSize - 1) }
+
+// Offset returns a's byte offset within its cache line.
+func (a Addr) Offset() uint64 { return uint64(a) & (LineSize - 1) }
+
+// Page returns the 4 KB-page-aligned address containing a.
+func (a Addr) Page() Addr { return a &^ (PageSize - 1) }
+
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// Line is the contents of one cache line.
+type Line [LineSize]byte
+
+// U64 reads the 64-bit word at byte offset off (must be 8-aligned).
+func (l *Line) U64(off uint64) uint64 {
+	return binary.LittleEndian.Uint64(l[off : off+8])
+}
+
+// SetU64 writes the 64-bit word at byte offset off (must be 8-aligned).
+func (l *Line) SetU64(off uint64, v uint64) {
+	binary.LittleEndian.PutUint64(l[off:off+8], v)
+}
+
+// U32 reads the 32-bit word at byte offset off (must be 4-aligned).
+func (l *Line) U32(off uint64) uint32 {
+	return binary.LittleEndian.Uint32(l[off : off+4])
+}
+
+// SetU32 writes the 32-bit word at byte offset off (must be 4-aligned).
+func (l *Line) SetU32(off uint64, v uint32) {
+	binary.LittleEndian.PutUint32(l[off:off+4], v)
+}
+
+// Word reads the i-th 64-bit word of the line (i in [0, WordsPerLine)).
+func (l *Line) Word(i int) uint64 { return l.U64(uint64(i) * 8) }
+
+// SetWord writes the i-th 64-bit word of the line.
+func (l *Line) SetWord(i int, v uint64) { l.SetU64(uint64(i)*8, v) }
+
+// IsZero reports whether every byte of the line is zero.
+func (l *Line) IsZero() bool {
+	for _, b := range l {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Memory is a sparse backing store, addressed by line. Missing lines read
+// as zero. Memory carries real data so that callback semantics (PHI
+// update application, journaling, decompression) can be verified against
+// functional baselines.
+type Memory struct {
+	lines map[Addr]*Line
+	// Reads and Writes count line-granularity accesses for DRAM
+	// traffic accounting done by callers that bypass the timing model
+	// (functional baselines); the timed DRAM model keeps its own stats.
+	Reads, Writes uint64
+}
+
+// NewMemory returns an empty (all-zero) backing store.
+func NewMemory() *Memory {
+	return &Memory{lines: make(map[Addr]*Line)}
+}
+
+// LineAt returns a mutable pointer to the line containing a, allocating a
+// zero line on first touch.
+func (m *Memory) LineAt(a Addr) *Line {
+	la := a.Line()
+	l, ok := m.lines[la]
+	if !ok {
+		l = new(Line)
+		m.lines[la] = l
+	}
+	return l
+}
+
+// PeekLine copies the line containing a into dst without allocating.
+func (m *Memory) PeekLine(a Addr, dst *Line) {
+	if l, ok := m.lines[a.Line()]; ok {
+		*dst = *l
+	} else {
+		*dst = Line{}
+	}
+	m.Reads++
+}
+
+// WriteLine stores src as the line containing a.
+func (m *Memory) WriteLine(a Addr, src *Line) {
+	*m.LineAt(a) = *src
+	m.Writes++
+}
+
+// ReadU64 reads the 64-bit word at a (must be 8-aligned).
+func (m *Memory) ReadU64(a Addr) uint64 { return m.LineAt(a).U64(a.Offset()) }
+
+// WriteU64 writes the 64-bit word at a (must be 8-aligned).
+func (m *Memory) WriteU64(a Addr, v uint64) { m.LineAt(a).SetU64(a.Offset(), v) }
+
+// ReadU32 reads the 32-bit word at a (must be 4-aligned).
+func (m *Memory) ReadU32(a Addr) uint32 { return m.LineAt(a).U32(a.Offset()) }
+
+// WriteU32 writes the 32-bit word at a (must be 4-aligned).
+func (m *Memory) WriteU32(a Addr, v uint32) { m.LineAt(a).SetU32(a.Offset(), v) }
+
+// PopulatedLines returns the number of lines that have been touched.
+func (m *Memory) PopulatedLines() int { return len(m.lines) }

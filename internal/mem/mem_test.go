@@ -1,0 +1,190 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrLineAndOffset(t *testing.T) {
+	cases := []struct {
+		a      Addr
+		line   Addr
+		offset uint64
+	}{
+		{0, 0, 0},
+		{63, 0, 63},
+		{64, 64, 0},
+		{0x1234, 0x1200, 0x34},
+	}
+	for _, c := range cases {
+		if c.a.Line() != c.line {
+			t.Errorf("%v.Line() = %v, want %v", c.a, c.a.Line(), c.line)
+		}
+		if c.a.Offset() != c.offset {
+			t.Errorf("%v.Offset() = %d, want %d", c.a, c.a.Offset(), c.offset)
+		}
+	}
+}
+
+func TestQuickLineDecomposition(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		return addr.Line()+Addr(addr.Offset()) == addr &&
+			addr.Line()%LineSize == 0 &&
+			addr.Offset() < LineSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineWordAccessors(t *testing.T) {
+	var l Line
+	for i := 0; i < WordsPerLine; i++ {
+		l.SetWord(i, uint64(i)*0x1111_1111)
+	}
+	for i := 0; i < WordsPerLine; i++ {
+		if l.Word(i) != uint64(i)*0x1111_1111 {
+			t.Fatalf("word %d = %x", i, l.Word(i))
+		}
+	}
+	if l.IsZero() {
+		t.Fatal("nonzero line reported zero")
+	}
+	l = Line{}
+	if !l.IsZero() {
+		t.Fatal("zero line reported nonzero")
+	}
+}
+
+func TestLineU32(t *testing.T) {
+	var l Line
+	l.SetU32(4, 0xdeadbeef)
+	if l.U32(4) != 0xdeadbeef {
+		t.Fatalf("u32 = %x", l.U32(4))
+	}
+	// Low half of word 0 untouched.
+	if l.U32(0) != 0 {
+		t.Fatalf("adjacent u32 clobbered: %x", l.U32(0))
+	}
+}
+
+func TestMemoryZeroFill(t *testing.T) {
+	m := NewMemory()
+	if got := m.ReadU64(0x1000); got != 0 {
+		t.Fatalf("untouched memory = %x, want 0", got)
+	}
+	m.WriteU64(0x1000, 42)
+	if got := m.ReadU64(0x1000); got != 42 {
+		t.Fatalf("readback = %d, want 42", got)
+	}
+	var l Line
+	m.PeekLine(0x1008, &l)
+	if l.Word(0) != 42 {
+		t.Fatalf("PeekLine word0 = %d, want 42", l.Word(0))
+	}
+}
+
+func TestMemoryLineRoundTrip(t *testing.T) {
+	m := NewMemory()
+	var src Line
+	for i := range src {
+		src[i] = byte(i)
+	}
+	m.WriteLine(0x2000, &src)
+	var dst Line
+	m.PeekLine(0x2010, &dst) // any addr in the line
+	if dst != src {
+		t.Fatal("line did not round-trip")
+	}
+}
+
+func TestQuickMemoryReadBack(t *testing.T) {
+	m := NewMemory()
+	f := func(slot uint16, v uint64) bool {
+		a := Addr(slot) * 8
+		m.WriteU64(a, v)
+		return m.ReadU64(a) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceAllocDisjoint(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 1000)
+	b := s.Alloc("b", 5000)
+	p := s.AllocPhantom("p", 4096)
+	regions := []Region{a, b, p}
+	for i := range regions {
+		for j := range regions {
+			if i == j {
+				continue
+			}
+			if regions[i].Contains(regions[j].Base) {
+				t.Fatalf("regions overlap: %v and %v", regions[i], regions[j])
+			}
+		}
+	}
+	if !p.Phantom || a.Phantom {
+		t.Fatal("phantom flags wrong")
+	}
+	if a.Base%PageSize != 0 || p.Base%PageSize != 0 {
+		t.Fatal("regions not page aligned")
+	}
+}
+
+func TestSpaceFindRegion(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 128)
+	p := s.AllocPhantom("p", 128)
+	if got, ok := s.FindRegion(a.Base + 64); !ok || got.Name != "a" {
+		t.Fatalf("FindRegion(real) = %v, %v", got, ok)
+	}
+	if !s.IsPhantom(p.Base) {
+		t.Fatal("IsPhantom(phantom base) = false")
+	}
+	if s.IsPhantom(a.Base) {
+		t.Fatal("IsPhantom(real base) = true")
+	}
+	if _, ok := s.FindRegion(0xdead_beef_0000); ok {
+		t.Fatal("found region for wild address")
+	}
+}
+
+func TestSpaceFree(t *testing.T) {
+	s := NewSpace()
+	p := s.AllocPhantom("p", 128)
+	s.Free(p)
+	if _, ok := s.FindRegion(p.Base); ok {
+		t.Fatal("freed region still found")
+	}
+}
+
+func TestRegionAccessors(t *testing.T) {
+	s := NewSpace()
+	r := s.Alloc("r", 256)
+	if r.Lines() != 4 {
+		t.Fatalf("Lines = %d, want 4", r.Lines())
+	}
+	if r.Word(3) != r.Base+24 {
+		t.Fatalf("Word(3) = %v", r.Word(3))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range offset")
+		}
+	}()
+	r.At(256)
+}
+
+func TestRegionContainsBounds(t *testing.T) {
+	r := Region{Name: "x", Base: 0x1000, Size: 64}
+	if !r.Contains(0x1000) || !r.Contains(0x103f) {
+		t.Fatal("region excludes its own bytes")
+	}
+	if r.Contains(0xfff) || r.Contains(0x1040) {
+		t.Fatal("region includes out-of-range bytes")
+	}
+}

@@ -1,0 +1,74 @@
+package morphs
+
+import "testing"
+
+func smallDecompParams() DecompParams {
+	p := DefaultDecompParams()
+	p.Tiles = 4
+	return p
+}
+
+func TestDecompressionShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	res, err := RunDecompressionAll(smallDecompParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res[DecompBaseline]
+	tako := res[DecompTako]
+	ideal := res[DecompIdeal]
+	ndc := res[DecompNDC]
+	pre := res[DecompPrecompute]
+
+	t.Logf("baseline:   %v", base)
+	t.Logf("precompute: %v", pre)
+	t.Logf("ndc:        %v", ndc)
+	t.Logf("tako:       %v (speedup %.2fx, energy -%.0f%%)", tako,
+		tako.Speedup(base), 100*tako.EnergySaving(base))
+	t.Logf("ideal:      %v (speedup %.2fx)", ideal, ideal.Speedup(base))
+
+	// Fig 6 shape: täkō beats the baseline and precompute; NDC does
+	// NOT beat the baseline; ideal ≥ täkō and täkō is close to it.
+	if tako.Speedup(base) < 1.3 {
+		t.Errorf("täkō speedup %.2fx, want ≥1.3x over baseline", tako.Speedup(base))
+	}
+	if tako.Cycles >= pre.Cycles {
+		t.Errorf("täkō (%d) should beat precompute (%d)", tako.Cycles, pre.Cycles)
+	}
+	if ndc.Cycles <= base.Cycles {
+		t.Errorf("NDC (%d) should NOT beat baseline (%d) — offloading loses L1 locality", ndc.Cycles, base.Cycles)
+	}
+	if ideal.Cycles > tako.Cycles {
+		t.Errorf("ideal (%d) slower than täkō (%d)", ideal.Cycles, tako.Cycles)
+	}
+	gap := float64(tako.Cycles-ideal.Cycles) / float64(ideal.Cycles)
+	if gap > 0.15 {
+		t.Errorf("täkō %.1f%% from ideal, want close (paper: 1.1%%)", 100*gap)
+	}
+	// Energy: täkō saves vs baseline.
+	if tako.EnergySaving(base) < 0.2 {
+		t.Errorf("täkō energy saving %.0f%%, want ≥20%%", 100*tako.EnergySaving(base))
+	}
+
+	// Fig 7 shape: baseline decompresses per access (= NumIndices);
+	// precompute decompresses everything (= NumValues); täkō only
+	// what is touched, less than both.
+	prm := smallDecompParams()
+	if int(base.Extra["decompressions"]) != prm.NumIndices {
+		t.Errorf("baseline decompressions = %v", base.Extra["decompressions"])
+	}
+	if int(pre.Extra["decompressions"]) != prm.NumValues {
+		t.Errorf("precompute decompressions = %v", pre.Extra["decompressions"])
+	}
+	if tako.Extra["decompressions"] >= pre.Extra["decompressions"] ||
+		tako.Extra["decompressions"] >= base.Extra["decompressions"] {
+		t.Errorf("täkō decompressions %v not the minimum (base %v, pre %v)",
+			tako.Extra["decompressions"], base.Extra["decompressions"], pre.Extra["decompressions"])
+	}
+	// Memory overhead: only precompute allocates a second array.
+	if pre.Extra["extra_memory_bytes"] == 0 || tako.Extra["extra_memory_bytes"] != 0 {
+		t.Error("memory-overhead accounting wrong")
+	}
+}

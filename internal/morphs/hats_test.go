@@ -1,0 +1,66 @@
+package morphs
+
+import "testing"
+
+func smallHATSParams() HATSParams {
+	p := DefaultHATSParams()
+	p.Tiles = 8
+	return p
+}
+
+func TestHATSShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	res, err := RunHATSAll(smallHATSParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vo := res[HATSVertexOrdered]
+	sw := res[HATSSoftwareBDFS]
+	tako := res[HATSTako]
+	ideal := res[HATSIdeal]
+	for _, r := range []Result{vo, sw, tako, ideal} {
+		t.Logf("%-14s %9d cycles %13.0f pJ dram=%6d mispred/edge=%.3f logged=%v loadlat=%.1f",
+			r.Variant, r.Cycles, r.EnergyPJ, r.DRAMAccesses,
+			r.Extra["mispredicts.per.edge"], r.Extra["edges.logged"], r.Extra["load.mean"])
+	}
+	t.Logf("sw=%.2fx tako=%.2fx ideal=%.2fx energy=%.0f%%",
+		sw.Speedup(vo), tako.Speedup(vo), ideal.Speedup(vo), 100*tako.EnergySaving(vo))
+
+	// Fig 16 shape: software BDFS ≈ baseline (minimal benefit); täkō
+	// clearly faster (+43% in the paper); ideal slightly better.
+	if sw.Speedup(vo) > 1.25 {
+		t.Errorf("software BDFS %.2fx: paper says minimal benefit", sw.Speedup(vo))
+	}
+	if tako.Speedup(vo) < 1.15 {
+		t.Errorf("täkō speedup %.2fx, want ≥1.15x (paper: 1.43x)", tako.Speedup(vo))
+	}
+	if tako.Speedup(vo) < sw.Speedup(vo) {
+		t.Errorf("täkō (%.2fx) should beat software BDFS (%.2fx)", tako.Speedup(vo), sw.Speedup(vo))
+	}
+	gap := (float64(tako.Cycles) - float64(ideal.Cycles)) / float64(ideal.Cycles)
+	if gap > 0.15 {
+		t.Errorf("täkō %.1f%% from ideal (paper: within ~2%%)", 100*gap)
+	}
+	// Fig 17 shapes: BDFS (sw and täkō) cut edge-phase DRAM accesses vs
+	// vertex-ordered; täkō's core mispredicts per edge stay near the
+	// baseline's while software BDFS mispredicts much more.
+	if tako.DRAMPhase["edge"] >= vo.DRAMPhase["edge"] {
+		t.Errorf("täkō edge DRAM (%d) should be below vertex-ordered (%d)",
+			tako.DRAMPhase["edge"], vo.DRAMPhase["edge"])
+	}
+	if sw.Extra["mispredicts.per.edge"] <= 2*vo.Extra["mispredicts.per.edge"]+0.05 {
+		t.Errorf("software BDFS mispredicts/edge (%.3f) should far exceed baseline (%.3f)",
+			sw.Extra["mispredicts.per.edge"], vo.Extra["mispredicts.per.edge"])
+	}
+	if tako.Extra["mispredicts.per.edge"] > 1.2*vo.Extra["mispredicts.per.edge"]+0.01 {
+		t.Errorf("täkō mispredicts/edge (%.3f) should match baseline (%.3f): traversal moved off-core",
+			tako.Extra["mispredicts.per.edge"], vo.Extra["mispredicts.per.edge"])
+	}
+	// Core load latency: täkō's stream reads are prefetch-decoupled.
+	if tako.Extra["load.mean"] >= vo.Extra["load.mean"] {
+		t.Errorf("täkō mean load latency (%.1f) should beat vertex-ordered (%.1f)",
+			tako.Extra["load.mean"], vo.Extra["load.mean"])
+	}
+}

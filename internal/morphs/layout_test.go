@@ -1,0 +1,34 @@
+package morphs
+
+import "testing"
+
+func TestLayoutShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	prm := DefaultLayoutParams() // 4 MB AoS vs 2 MB LLC at 4 tiles; field 512 KB
+	res, err := RunLayoutAll(prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res[LayoutBaseline]
+	tako := res[LayoutTako]
+	ideal := res[LayoutIdeal]
+	gather := res[LayoutGather]
+	for _, r := range []Result{base, gather, tako, ideal} {
+		t.Logf("%-9s %9d cycles dram=%6d extra=%v", r.Variant, r.Cycles, r.DRAMAccesses, r.Extra)
+	}
+	t.Logf("speedups: gather=%.2fx tako=%.2fx ideal=%.2fx", gather.Speedup(base), tako.Speedup(base), ideal.Speedup(base))
+	// §5.2: the AoS→SoA Morph is a large win (paper: >4x with trrîp at
+	// full scale). At our scale: a clear win, beating software gather.
+	if tako.Speedup(base) < 1.5 {
+		t.Errorf("täkō layout speedup %.2fx, want ≥1.5x", tako.Speedup(base))
+	}
+	if tako.Cycles > gather.Cycles {
+		t.Errorf("täkō (%d) should beat software gather (%d)", tako.Cycles, gather.Cycles)
+	}
+	if tako.DRAMAccesses >= base.DRAMAccesses {
+		t.Errorf("täkō DRAM (%d) should be below baseline (%d): packed field stays cached",
+			tako.DRAMAccesses, base.DRAMAccesses)
+	}
+}

@@ -1,0 +1,67 @@
+package morphs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResultHelpers(t *testing.T) {
+	base := Result{Study: "s", Variant: "base", Cycles: 1000, EnergyPJ: 200}
+	fast := Result{Study: "s", Variant: "fast", Cycles: 250, EnergyPJ: 120}
+	if got := fast.Speedup(base); got != 4.0 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if got := fast.EnergySaving(base); got != 0.4 {
+		t.Fatalf("energy saving = %v", got)
+	}
+	var zero Result
+	if zero.Speedup(base) != 0 {
+		t.Fatal("zero-cycle result should have 0 speedup")
+	}
+	if fast.EnergySaving(Result{}) != 0 {
+		t.Fatal("zero-energy baseline should yield 0 saving")
+	}
+	if !strings.Contains(fast.String(), "s/fast") {
+		t.Fatalf("String() = %q", fast.String())
+	}
+}
+
+func TestPackUpdateRoundTrip(t *testing.T) {
+	for _, c := range []struct {
+		dst int
+		val uint64
+	}{{0, 1}, {123456, 99}, {1 << 30, (1 << 32) - 1}} {
+		dst, val := unpackUpdate(packUpdate(c.dst, c.val))
+		if dst != c.dst || val != c.val {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d)", c.dst, c.val, dst, val)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized value should panic")
+		}
+	}()
+	packUpdate(1, 1<<32)
+}
+
+func TestDefaultParamsSane(t *testing.T) {
+	d := DefaultDecompParams()
+	if d.NumValues <= 0 || d.NumIndices < d.NumValues {
+		t.Fatalf("decomp params: %+v", d)
+	}
+	p := DefaultPHIParams()
+	if p.E < p.V || p.Threads != p.Tiles {
+		t.Fatalf("phi params: %+v", p)
+	}
+	h := DefaultHATSParams()
+	if h.Communities <= 0 || h.PIntra <= 0.5 {
+		t.Fatalf("hats params: %+v", h)
+	}
+	n := DefaultNVMParams(4096)
+	if n.TxnBytes != 4096 || n.Transactions <= 0 {
+		t.Fatalf("nvm params: %+v", n)
+	}
+	if len(TxnSizes) == 0 || TxnSizes[len(TxnSizes)-1] != 128<<10 {
+		t.Fatalf("txn sizes: %v", TxnSizes)
+	}
+}

@@ -1,0 +1,77 @@
+package morphs
+
+import "testing"
+
+func TestNVMShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	sizes := []int{1 << 10, 16 << 10, 128 << 10}
+	res, err := RunNVMSweep(sizes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, size := range sizes {
+		base := res[NVMBaseline][i]
+		tako := res[NVMTako][i]
+		ideal := res[NVMIdeal][i]
+		t.Logf("txn %4dKB: base=%8d tako=%8d ideal=%8d  speedup=%.2fx energy=-%.0f%% instr/8B core %.2f->%.2f total %.2f->%.2f journaled=%v",
+			size/1024, base.Cycles, tako.Cycles, ideal.Cycles,
+			tako.Speedup(base), 100*tako.EnergySaving(base),
+			base.Extra["instr_per_8B_core"], tako.Extra["instr_per_8B_core"],
+			base.Extra["instr_per_8B_total"], tako.Extra["instr_per_8B_total"],
+			tako.Extra["journaled_lines"])
+	}
+	// Fig 19 shape: large speedup while transactions fit the L2 (128 KB);
+	// falls back toward baseline at 128 KB but still ahead.
+	small := res[NVMTako][0].Speedup(res[NVMBaseline][0])
+	big := res[NVMTako][len(sizes)-1].Speedup(res[NVMBaseline][len(sizes)-1])
+	if small < 1.4 {
+		t.Errorf("small-txn speedup %.2fx, want ≥1.4x (paper: up to 2.1x)", small)
+	}
+	if big >= small {
+		t.Errorf("speedup should fall when txns exceed the L2: small %.2fx vs 128KB %.2fx", small, big)
+	}
+	if big < 1.0 {
+		t.Errorf("täkō at 128KB (%.2fx) should still not lose to baseline", big)
+	}
+	// Fig 20 shape: täkō cuts core instructions per 8B written (paper:
+	// ~50% fewer core instructions).
+	for i := range sizes {
+		base := res[NVMBaseline][i]
+		tako := res[NVMTako][i]
+		if tako.Extra["instr_per_8B_core"] >= 0.8*base.Extra["instr_per_8B_core"] {
+			t.Errorf("txn %dKB: core instr/8B %.2f not well below baseline %.2f",
+				sizes[i]/1024, tako.Extra["instr_per_8B_core"], base.Extra["instr_per_8B_core"])
+		}
+	}
+	// Energy: up to 47% savings in the paper.
+	if res[NVMTako][0].EnergySaving(res[NVMBaseline][0]) < 0.2 {
+		t.Errorf("small-txn energy saving %.0f%%, want ≥20%%",
+			100*res[NVMTako][0].EnergySaving(res[NVMBaseline][0]))
+	}
+}
+
+func TestNVMCrashRecoveryInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	prm := DefaultNVMParams(4 << 10)
+	prm.Tiles = 2
+	prm.Transactions = 12
+	// Crash at many points across the run, including mid-transaction
+	// and mid-flush: committed transactions must always be intact.
+	anyPartial := false
+	for _, crash := range []uint64{1, 500, 3_000, 9_000, 17_500, 26_000, 41_000, 60_000, 100_000, 250_000} {
+		committed, err := RunNVMCrash(prm, crash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if committed > 0 && committed < prm.Transactions {
+			anyPartial = true
+		}
+	}
+	if !anyPartial {
+		t.Fatal("no crash point landed mid-run; widen the sweep")
+	}
+}

@@ -1,0 +1,26 @@
+package morphs
+
+import "testing"
+
+func TestHierarchicalPHICorrectAndCombines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	prm := smallPHIParams()
+	flat, err := RunPHI(PHITako, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := RunPHI(PHIHier, prm)
+	if err != nil {
+		t.Fatal(err) // includes the bit-exact rank verification
+	}
+	t.Logf("flat: %d cycles; hier: %d cycles; forwarded=%v of %d pushes",
+		flat.Cycles, hier.Cycles, hier.Extra["updates.forwarded"], prm.E)
+	// The private level must combine: strictly fewer updates reach the
+	// shared level than edges pushed.
+	fw := int(hier.Extra["updates.forwarded"])
+	if fw == 0 || fw >= prm.E {
+		t.Fatalf("forwarded %d updates; want 0 < forwarded < %d (combining)", fw, prm.E)
+	}
+}

@@ -1,0 +1,44 @@
+package morphs
+
+import "testing"
+
+func TestSideChannelShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	prm := DefaultSideChannelParams()
+	base, err := RunSideChannel(SCBaseline, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tako, err := RunSideChannel(SCTako, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline: TP=%d/%d FP=%d detected=%v", base.TruePositives, prm.HotLines, base.FalsePositives, base.Detected)
+	t.Logf("tako:     TP=%d/%d FP=%d detected=%v at cycle %d (interrupts=%v)",
+		tako.TruePositives, prm.HotLines, tako.FalsePositives, tako.Detected,
+		tako.DetectionCycle, tako.Extra["interrupts"])
+
+	// Fig 21a: the unprotected attack identifies most hot lines and
+	// the victim never knows.
+	if base.Detected {
+		t.Error("baseline victim cannot detect evictions")
+	}
+	if base.TruePositives < prm.HotLines/2 {
+		t.Errorf("attack should succeed without täkō: identified %d of %d hot lines",
+			base.TruePositives, prm.HotLines)
+	}
+	// Fig 21b: with täkō the victim is interrupted during the prime
+	// phase, defends itself, and the attacker learns (almost) nothing.
+	if !tako.Detected {
+		t.Fatal("täkō victim never detected the attack")
+	}
+	if tako.DetectionCycle == 0 || tako.DetectionCycle > base.Cycles {
+		t.Errorf("detection at cycle %d not early", tako.DetectionCycle)
+	}
+	if tako.TruePositives > base.TruePositives/4 {
+		t.Errorf("defended victim still leaked: TP %d vs baseline %d",
+			tako.TruePositives, base.TruePositives)
+	}
+}

@@ -1,0 +1,120 @@
+// Package sim provides a deterministic discrete-event simulation kernel
+// and a blocking-process model on top of it.
+//
+// The kernel orders events by (time, insertion sequence), so two runs of
+// the same program produce identical schedules. Simulated software threads
+// (Proc) run as goroutines, but exactly one runs at a time: the kernel
+// resumes a process and waits for it to park again before dispatching the
+// next event, preserving determinism.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in clock cycles.
+type Cycle = uint64
+
+type event struct {
+	when Cycle
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic discrete-event simulator clock and queue.
+// The zero value is not usable; create kernels with NewKernel.
+type Kernel struct {
+	now    Cycle
+	seq    uint64
+	queue  eventHeap
+	procs  []*Proc
+	events uint64
+}
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulated cycle.
+func (k *Kernel) Now() Cycle { return k.now }
+
+// Events returns the number of events executed so far.
+func (k *Kernel) Events() uint64 { return k.events }
+
+// At schedules fn to run at the given absolute cycle. Scheduling in the
+// past panics: it indicates a modeling bug.
+func (k *Kernel) At(when Cycle, fn func()) {
+	if when < k.now {
+		panic("sim: scheduling event in the past")
+	}
+	k.seq++
+	heap.Push(&k.queue, event{when: when, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (k *Kernel) After(delay Cycle, fn func()) {
+	k.At(k.now+delay, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(event)
+	k.now = e.when
+	k.events++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+func (k *Kernel) RunUntil(t Cycle) {
+	for len(k.queue) > 0 && k.queue[0].when <= t {
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Blocked returns the names of processes that are parked (waiting) right
+// now. After Run returns, a non-empty result means those processes are
+// deadlocked: no event will ever wake them.
+func (k *Kernel) Blocked() []string {
+	var out []string
+	for _, p := range k.procs {
+		if !p.done && p.started {
+			out = append(out, p.name)
+		}
+	}
+	return out
+}

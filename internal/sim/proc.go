@@ -1,0 +1,155 @@
+package sim
+
+// Proc is a simulated software thread. Procs run as goroutines, but the
+// kernel admits only one at a time: when a Proc blocks (Sleep, Wait), it
+// parks its goroutine and control returns to the kernel's event loop.
+//
+// All Proc methods must be called from the Proc's own goroutine (i.e.,
+// inside the function passed to Kernel.Go), except Done.
+type Proc struct {
+	k       *Kernel
+	name    string
+	resume  chan struct{}
+	parked  chan struct{}
+	started bool
+	done    bool
+}
+
+// Go creates a simulated process named name running fn, and schedules it
+// to start at the current cycle. fn runs on its own goroutine; it blocks
+// the simulation only while actively computing between blocking calls.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		p.parked <- struct{}{}
+	}()
+	k.After(0, func() {
+		p.started = true
+		p.dispatch()
+	})
+	return p
+}
+
+// dispatch hands control to the process and waits for it to park or
+// finish. Must be called from the kernel's event loop.
+func (p *Proc) dispatch() {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// block parks the calling process until something dispatches it again.
+func (p *Proc) block() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated cycle.
+func (p *Proc) Now() Cycle { return p.k.now }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep advances the process by d cycles of simulated time.
+func (p *Proc) Sleep(d Cycle) {
+	p.k.After(d, func() { p.dispatch() })
+	p.block()
+}
+
+// Wait blocks the process until f completes. If f is already complete it
+// returns immediately without advancing time.
+func (p *Proc) Wait(f *Future) {
+	if f.done {
+		return
+	}
+	f.waiters = append(f.waiters, p)
+	p.block()
+}
+
+// Future is a one-shot completion signal that processes can Wait on and
+// events can Watch.
+type Future struct {
+	k       *Kernel
+	done    bool
+	when    Cycle
+	waiters []*Proc
+	watches []func()
+}
+
+// NewFuture returns an incomplete future on kernel k.
+func NewFuture(k *Kernel) *Future {
+	return &Future{k: k}
+}
+
+// Complete marks the future done at the current cycle and wakes all
+// waiters (in registration order, at the current cycle). Completing twice
+// panics.
+func (f *Future) Complete() {
+	if f.done {
+		panic("sim: future completed twice")
+	}
+	f.done = true
+	f.when = f.k.now
+	for _, p := range f.waiters {
+		p := p
+		f.k.After(0, func() { p.dispatch() })
+	}
+	f.waiters = nil
+	for _, fn := range f.watches {
+		fn := fn
+		f.k.After(0, fn)
+	}
+	f.watches = nil
+}
+
+// CompleteAt schedules the future to complete at absolute cycle t.
+func (f *Future) CompleteAt(t Cycle) {
+	f.k.At(t, f.Complete)
+}
+
+// Done reports whether the future has completed.
+func (f *Future) Done() bool { return f.done }
+
+// When returns the cycle at which the future completed; valid only if
+// Done.
+func (f *Future) When() Cycle { return f.when }
+
+// Watch registers fn to run (as an event) when the future completes. If
+// the future is already complete, fn is scheduled immediately.
+func (f *Future) Watch(fn func()) {
+	if f.done {
+		f.k.After(0, fn)
+		return
+	}
+	f.watches = append(f.watches, fn)
+}
+
+// CompletedFuture returns an already-completed future, useful for
+// zero-latency fast paths.
+func CompletedFuture(k *Kernel) *Future {
+	return &Future{k: k, done: true, when: k.now}
+}
+
+// WaitAll blocks the process until every future in fs is complete.
+func (p *Proc) WaitAll(fs ...*Future) {
+	for _, f := range fs {
+		p.Wait(f)
+	}
+}

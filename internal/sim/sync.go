@@ -1,0 +1,150 @@
+package sim
+
+// Semaphore is a counting semaphore for simulated processes, used to
+// model bounded hardware resources (MSHRs, writeback-buffer entries,
+// callback-buffer slots, outstanding-RMO limits). Waiters are woken in
+// FIFO order.
+type Semaphore struct {
+	k       *Kernel
+	free    int
+	cap     int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore with n slots.
+func NewSemaphore(k *Kernel, n int) *Semaphore {
+	if n <= 0 {
+		panic("sim: semaphore needs at least one slot")
+	}
+	return &Semaphore{k: k, free: n, cap: n}
+}
+
+// Acquire takes a slot, blocking the process until one is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.free > 0 {
+		s.free--
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.block() // the releasing side hands its slot directly to us
+}
+
+// TryAcquire takes a slot without blocking, reporting success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.free > 0 {
+		s.free--
+		return true
+	}
+	return false
+}
+
+// Release returns a slot. If a process is waiting, the slot passes
+// directly to the first waiter.
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		p := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.k.After(0, func() { p.dispatch() })
+		return
+	}
+	if s.free == s.cap {
+		panic("sim: semaphore over-released")
+	}
+	s.free++
+}
+
+// Free returns the number of available slots.
+func (s *Semaphore) Free() int { return s.free }
+
+// Cap returns the total number of slots.
+func (s *Semaphore) Cap() int { return s.cap }
+
+// Saturated reports whether no slot is free and processes are waiting or
+// the semaphore is fully consumed.
+func (s *Semaphore) Saturated() bool { return s.free == 0 }
+
+// Waiters returns the number of blocked processes.
+func (s *Semaphore) Waiters() int { return len(s.waiters) }
+
+// WaitGroup tracks a number of in-flight operations; processes can block
+// until the count drains to zero. Used to drain asynchronous remote
+// memory operations before a flush (täkō §8.1).
+type WaitGroup struct {
+	k       *Kernel
+	n       int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns an empty wait group.
+func NewWaitGroup(k *Kernel) *WaitGroup {
+	return &WaitGroup{k: k}
+}
+
+// Add increments the in-flight count by delta.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative waitgroup count")
+	}
+	if w.n == 0 {
+		w.wake()
+	}
+}
+
+// Done decrements the in-flight count.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Count returns the current in-flight count.
+func (w *WaitGroup) Count() int { return w.n }
+
+func (w *WaitGroup) wake() {
+	for _, p := range w.waiters {
+		p := p
+		w.k.After(0, func() { p.dispatch() })
+	}
+	w.waiters = nil
+}
+
+// Wait blocks p until the count is zero. A zero count returns
+// immediately.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.n == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.block()
+}
+
+// Barrier is a reusable rendezvous for a fixed set of processes: each
+// generation releases when all n participants arrive.
+type Barrier struct {
+	k       *Kernel
+	n       int
+	arrived int
+	waiters []*Proc
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(k *Kernel, n int) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier needs at least one participant")
+	}
+	return &Barrier{k: k, n: n}
+}
+
+// Arrive blocks p until all participants of the current generation have
+// arrived; the last arriver releases everyone and resets the barrier.
+func (b *Barrier) Arrive(p *Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		for _, w := range b.waiters {
+			w := w
+			b.k.After(0, func() { w.dispatch() })
+		}
+		b.waiters = nil
+		return
+	}
+	b.waiters = append(b.waiters, p)
+	p.block()
+}

@@ -1,0 +1,162 @@
+package sim
+
+import "testing"
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	k := NewKernel()
+	s := NewSemaphore(k, 2)
+	active, maxActive := 0, 0
+	for i := 0; i < 5; i++ {
+		k.Go("w", func(p *Proc) {
+			s.Acquire(p)
+			active++
+			if active > maxActive {
+				maxActive = active
+			}
+			p.Sleep(10)
+			active--
+			s.Release()
+		})
+	}
+	k.Run()
+	if maxActive != 2 {
+		t.Fatalf("max concurrent holders = %d, want 2", maxActive)
+	}
+	if s.Free() != 2 {
+		t.Fatalf("free = %d after drain, want 2", s.Free())
+	}
+}
+
+func TestSemaphoreFIFO(t *testing.T) {
+	k := NewKernel()
+	s := NewSemaphore(k, 1)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Go("w", func(p *Proc) {
+			p.Sleep(Cycle(i)) // stagger arrival: 0, 1, 2
+			s.Acquire(p)
+			order = append(order, i)
+			p.Sleep(10)
+			s.Release()
+		})
+	}
+	k.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	k := NewKernel()
+	s := NewSemaphore(k, 1)
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire on free semaphore failed")
+	}
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire on empty semaphore succeeded")
+	}
+	if !s.Saturated() {
+		t.Fatal("should be saturated")
+	}
+	s.Release()
+	if s.Saturated() {
+		t.Fatal("should not be saturated")
+	}
+}
+
+func TestSemaphoreOverReleasePanics(t *testing.T) {
+	k := NewKernel()
+	s := NewSemaphore(k, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Release()
+}
+
+func TestWaitGroupDrains(t *testing.T) {
+	k := NewKernel()
+	w := NewWaitGroup(k)
+	var doneAt Cycle
+	w.Add(2)
+	k.Go("waiter", func(p *Proc) {
+		w.Wait(p)
+		doneAt = p.Now()
+	})
+	k.Go("op1", func(p *Proc) {
+		p.Sleep(10)
+		w.Done()
+	})
+	k.Go("op2", func(p *Proc) {
+		p.Sleep(25)
+		w.Done()
+	})
+	k.Run()
+	if doneAt != 25 {
+		t.Fatalf("waiter released at %d, want 25", doneAt)
+	}
+	if w.Count() != 0 {
+		t.Fatalf("count = %d", w.Count())
+	}
+}
+
+func TestWaitGroupZeroWaitImmediate(t *testing.T) {
+	k := NewKernel()
+	w := NewWaitGroup(k)
+	ran := false
+	k.Go("w", func(p *Proc) {
+		w.Wait(p)
+		ran = true
+	})
+	k.Run()
+	if !ran {
+		t.Fatal("wait on empty group blocked forever")
+	}
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier(k, 3)
+	var released []Cycle
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Go("w", func(p *Proc) {
+			p.Sleep(Cycle(10 * (i + 1))) // arrive at 10, 20, 30
+			b.Arrive(p)
+			released = append(released, p.Now())
+		})
+	}
+	k.Run()
+	if len(released) != 3 {
+		t.Fatalf("released %d", len(released))
+	}
+	for _, r := range released {
+		if r != 30 {
+			t.Fatalf("released at %v, want all at 30", released)
+		}
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier(k, 2)
+	hits := 0
+	for i := 0; i < 2; i++ {
+		k.Go("w", func(p *Proc) {
+			for g := 0; g < 3; g++ {
+				p.Sleep(5)
+				b.Arrive(p)
+				hits++
+			}
+		})
+	}
+	k.Run()
+	if hits != 6 {
+		t.Fatalf("hits = %d, want 6 (3 generations x 2 procs)", hits)
+	}
+	if blocked := k.Blocked(); len(blocked) != 0 {
+		t.Fatalf("blocked: %v", blocked)
+	}
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersAddAndGet(t *testing.T) {
+	var c Counters
+	c.Add("x", 5)
+	c.Inc("x")
+	c.Add("y", 2)
+	if c.Get("x") != 6 || c.Get("y") != 2 || c.Get("z") != 0 {
+		t.Fatalf("x=%d y=%d z=%d", c.Get("x"), c.Get("y"), c.Get("z"))
+	}
+}
+
+func TestCountersOrderIsFirstTouch(t *testing.T) {
+	var c Counters
+	c.Inc("b")
+	c.Inc("a")
+	c.Inc("b")
+	names := c.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCountersReset(t *testing.T) {
+	var c Counters
+	c.Add("x", 9)
+	c.Reset()
+	if c.Get("x") != 0 {
+		t.Fatal("reset did not zero")
+	}
+	if len(c.Names()) != 1 {
+		t.Fatal("reset dropped names")
+	}
+}
+
+func TestDist(t *testing.T) {
+	var d Dist
+	if d.Mean() != 0 {
+		t.Fatal("empty mean != 0")
+	}
+	for _, v := range []float64{2, 4, 6} {
+		d.Observe(v)
+	}
+	if d.N != 3 || d.Min != 2 || d.Max != 6 || d.Mean() != 4 {
+		t.Fatalf("dist = %+v mean=%v", d, d.Mean())
+	}
+}
+
+func TestQuickDistBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		var d Dist
+		for _, v := range raw {
+			d.Observe(float64(v))
+		}
+		vals := raw
+		if len(vals) == 0 {
+			return d.N == 0
+		}
+		return d.Min <= d.Mean() && d.Mean() <= d.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Fig X", "variant", "speedup")
+	tbl.AddRowf("baseline", 1.0)
+	tbl.AddRowf("tako", 4.2)
+	s := tbl.String()
+	for _, want := range []string{"Fig X", "variant", "baseline", "4.200"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	if len(tbl.Rows()) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows()))
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("ratio wrong")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("ratio by zero should be 0")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]uint64{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("keys = %v", keys)
+	}
+}

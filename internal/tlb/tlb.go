@@ -1,0 +1,108 @@
+// Package tlb models translation lookaside buffers. The simulator's
+// virtual and physical addresses coincide, so TLBs exist for timing and
+// capacity effects: a bounded number of page entries with LRU
+// replacement, a page-walk penalty on misses, and shootdown flushes when
+// Morph registrations change (täkō §6).
+//
+// The engine's reverse TLB (rTLB) — which recovers the virtual address of
+// a cache tag when a callback is scheduled — is the same structure; its
+// small reach suffices because it only needs to cover data currently in
+// the cache (§6), which the rTLB sensitivity sweep (§9) demonstrates.
+package tlb
+
+import (
+	"tako/internal/mem"
+	"tako/internal/sim"
+)
+
+// Config describes one TLB.
+type Config struct {
+	Name        string
+	Entries     int
+	PageBits    uint      // log2 of page size: 12 for 4 KB, 21 for 2 MB
+	HitLatency  sim.Cycle // lookup cost
+	WalkLatency sim.Cycle // miss (page walk / tag probe) cost
+}
+
+// DefaultRTLBConfig returns the paper's engine rTLB: 256 entries, 2 MB
+// pages (§9).
+func DefaultRTLBConfig() Config {
+	return Config{Name: "rtlb", Entries: 256, PageBits: 21, HitLatency: 1, WalkLatency: 30}
+}
+
+// TLB is a bounded page-translation cache with LRU replacement.
+type TLB struct {
+	cfg   Config
+	pages map[mem.Addr]uint64 // page base -> last-use tick
+	tick  uint64
+
+	Hits, Misses uint64
+	Shootdowns   uint64
+}
+
+// New builds a TLB.
+func New(cfg Config) *TLB {
+	if cfg.Entries <= 0 {
+		panic("tlb: need at least one entry")
+	}
+	if cfg.PageBits < mem.LineShift {
+		panic("tlb: page smaller than a line")
+	}
+	return &TLB{cfg: cfg, pages: make(map[mem.Addr]uint64)}
+}
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+func (t *TLB) pageOf(a mem.Addr) mem.Addr {
+	return a &^ (mem.Addr(1)<<t.cfg.PageBits - 1)
+}
+
+// Lookup translates a, returning the latency charged and whether it hit.
+// Misses install the entry, evicting the LRU entry when full.
+func (t *TLB) Lookup(a mem.Addr) (latency sim.Cycle, hit bool) {
+	page := t.pageOf(a)
+	t.tick++
+	if _, ok := t.pages[page]; ok {
+		t.pages[page] = t.tick
+		t.Hits++
+		return t.cfg.HitLatency, true
+	}
+	t.Misses++
+	if len(t.pages) >= t.cfg.Entries {
+		var victim mem.Addr
+		oldest := uint64(0)
+		first := true
+		for p, use := range t.pages {
+			if first || use < oldest {
+				victim, oldest, first = p, use, false
+			}
+		}
+		delete(t.pages, victim)
+	}
+	t.pages[page] = t.tick
+	return t.cfg.HitLatency + t.cfg.WalkLatency, false
+}
+
+// FlushRegion removes entries overlapping r (a shootdown, issued when a
+// Morph is registered or unregistered on the range).
+func (t *TLB) FlushRegion(r mem.Region) {
+	t.Shootdowns++
+	for p := range t.pages {
+		if p >= t.pageOf(r.Base) && p < r.End() {
+			delete(t.pages, p)
+		}
+	}
+}
+
+// Entries returns the number of live entries.
+func (t *TLB) Entries() int { return len(t.pages) }
+
+// HitRate returns hits/(hits+misses), or 1 with no traffic.
+func (t *TLB) HitRate() float64 {
+	total := t.Hits + t.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(t.Hits) / float64(total)
+}

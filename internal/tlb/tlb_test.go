@@ -1,0 +1,102 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tako/internal/mem"
+)
+
+func small() *TLB {
+	return New(Config{Name: "t", Entries: 2, PageBits: 12, HitLatency: 1, WalkLatency: 30})
+}
+
+func TestMissThenHit(t *testing.T) {
+	tl := small()
+	lat, hit := tl.Lookup(0x1234)
+	if hit || lat != 31 {
+		t.Fatalf("first lookup: lat=%d hit=%v", lat, hit)
+	}
+	lat, hit = tl.Lookup(0x1FFF) // same 4 KB page
+	if !hit || lat != 1 {
+		t.Fatalf("second lookup: lat=%d hit=%v", lat, hit)
+	}
+	if tl.Hits != 1 || tl.Misses != 1 {
+		t.Fatalf("stats: %d/%d", tl.Hits, tl.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tl := small()
+	tl.Lookup(0x0000) // page 0
+	tl.Lookup(0x1000) // page 1
+	tl.Lookup(0x0000) // touch page 0: page 1 is now LRU
+	tl.Lookup(0x2000) // page 2 evicts page 1
+	if tl.Entries() != 2 {
+		t.Fatalf("entries = %d", tl.Entries())
+	}
+	if _, hit := tl.Lookup(0x0000); !hit {
+		t.Fatal("MRU page evicted")
+	}
+	if _, hit := tl.Lookup(0x1000); hit {
+		t.Fatal("LRU page survived")
+	}
+}
+
+func TestFlushRegion(t *testing.T) {
+	tl := New(Config{Name: "t", Entries: 8, PageBits: 12, HitLatency: 1, WalkLatency: 30})
+	tl.Lookup(0x1000)
+	tl.Lookup(0x2000)
+	tl.Lookup(0x9000)
+	tl.FlushRegion(mem.Region{Base: 0x1000, Size: 0x2000}) // pages 1,2
+	if _, hit := tl.Lookup(0x1000); hit {
+		t.Fatal("flushed page still present")
+	}
+	if _, hit := tl.Lookup(0x9000); !hit {
+		t.Fatal("unrelated page flushed")
+	}
+	if tl.Shootdowns != 1 {
+		t.Fatalf("shootdowns = %d", tl.Shootdowns)
+	}
+}
+
+func TestHugePages(t *testing.T) {
+	tl := New(DefaultRTLBConfig())
+	tl.Lookup(0x0)
+	if _, hit := tl.Lookup(0x1F_FFFF); !hit {
+		t.Fatal("same 2MB page missed")
+	}
+	if _, hit := tl.Lookup(0x20_0000); hit {
+		t.Fatal("next 2MB page hit")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	tl := small()
+	if tl.HitRate() != 1 {
+		t.Fatal("empty TLB hit rate should be 1")
+	}
+	tl.Lookup(0)
+	tl.Lookup(0)
+	tl.Lookup(0)
+	if hr := tl.HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Fatalf("hit rate = %v", hr)
+	}
+}
+
+// Property: entry count never exceeds capacity.
+func TestQuickCapacityBound(t *testing.T) {
+	tl := New(Config{Name: "q", Entries: 4, PageBits: 12, HitLatency: 1, WalkLatency: 10})
+	f := func(pages []uint16) bool {
+		for _, p := range pages {
+			tl.Lookup(mem.Addr(p) << 12)
+			if tl.Entries() > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

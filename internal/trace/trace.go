@@ -1,0 +1,143 @@
+// Package trace is the simulator's structured event tracer: components
+// emit (cycle, component, event, detail) records into a bounded ring
+// buffer that can be filtered and rendered. Tracing is optional and
+// zero-cost when disabled (a nil *Tracer ignores all emits), so it can
+// stay wired into hot paths.
+//
+// Typical use:
+//
+//	tr := trace.New(4096)
+//	tr.Filter("cb.*", "l3.*")
+//	h.AttachTracer(tr)
+//	... run ...
+//	fmt.Print(tr.Dump())
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is one trace record.
+type Event struct {
+	Cycle     uint64
+	Component string // e.g. "l2.3", "engine.0", "dram"
+	Kind      string // e.g. "miss", "cb.onMiss", "evict"
+	Detail    string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%10d  %-10s %-16s %s", e.Cycle, e.Component, e.Kind, e.Detail)
+}
+
+// Tracer collects events into a ring buffer. A nil Tracer is valid and
+// drops everything, so callers never need nil checks beyond the one in
+// Emit.
+type Tracer struct {
+	ring    []Event
+	next    int
+	wrapped bool
+	total   uint64
+	filters []string
+}
+
+// New returns a tracer holding the most recent `capacity` events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+// Filter restricts recording to events whose Kind matches one of the
+// given patterns. A pattern matches exactly, or by prefix when it ends
+// in "*" ("cb.*" matches "cb.onMiss"). No filters = record everything.
+func (t *Tracer) Filter(patterns ...string) {
+	if t == nil {
+		return
+	}
+	t.filters = append(t.filters, patterns...)
+}
+
+func (t *Tracer) matches(kind string) bool {
+	if len(t.filters) == 0 {
+		return true
+	}
+	for _, p := range t.filters {
+		if strings.HasSuffix(p, "*") {
+			if strings.HasPrefix(kind, p[:len(p)-1]) {
+				return true
+			}
+		} else if kind == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Emit records an event. Safe on a nil Tracer.
+func (t *Tracer) Emit(cycle uint64, component, kind, detail string) {
+	if t == nil || !t.matches(kind) {
+		return
+	}
+	t.total++
+	t.ring[t.next] = Event{Cycle: cycle, Component: component, Kind: kind, Detail: detail}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+}
+
+// Emitf is Emit with a formatted detail string. The formatting cost is
+// paid only when the event would be recorded.
+func (t *Tracer) Emitf(cycle uint64, component, kind, format string, args ...interface{}) {
+	if t == nil || !t.matches(kind) {
+		return
+	}
+	t.Emit(cycle, component, kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns the recorded events in chronological order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.wrapped {
+		out := make([]Event, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Total returns how many events were recorded (including ones that have
+// rotated out of the ring).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Dump renders the buffered events, one per line.
+func (t *Tracer) Dump() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CountByKind aggregates buffered events per kind.
+func (t *Tracer) CountByKind() map[string]int {
+	out := map[string]int{}
+	for _, e := range t.Events() {
+		out[e.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package workloads
+
+// TouchKind classifies the logical memory touches a BDFS traversal makes,
+// so callers (a software baseline on a core, or the HATS Morph on an
+// engine) can charge them to the right memory port.
+type TouchKind int
+
+// Touch kinds emitted by BDFSIter.
+const (
+	TouchOffset   TouchKind = iota // CSR offsets[v] (vertex push / cursor init)
+	TouchNeighbor                  // CSR neighbors[e] (per edge)
+	TouchRank                      // ranks[src] (when the source changes)
+	TouchVisited                   // visited bitmap word for a vertex
+	TouchCursor                    // per-vertex next-edge cursor
+)
+
+// BDFSIter is a resumable bounded-depth-first traversal (HATS [92]): it
+// yields every edge exactly once, visiting communities together. The
+// Touch hook is called with the index of each array element the
+// traversal logically reads or writes; passing nil skips accounting.
+type BDFSIter struct {
+	g        *Graph
+	ranks    []uint64
+	maxDepth int
+
+	Touch func(kind TouchKind, index int)
+
+	visited  []bool
+	nextEdge []uint64
+	stack    []bdfsFrame
+	root     int
+	emitted  int
+}
+
+type bdfsFrame struct {
+	v     int
+	depth int
+}
+
+// NewBDFSIter builds an iterator over g using ranks for contributions.
+func NewBDFSIter(g *Graph, ranks []uint64, maxDepth int) *BDFSIter {
+	it := &BDFSIter{g: g, ranks: ranks, maxDepth: maxDepth}
+	it.visited = make([]bool, g.V)
+	it.nextEdge = make([]uint64, g.V)
+	copy(it.nextEdge, g.Offsets[:g.V])
+	return it
+}
+
+func (it *BDFSIter) touch(kind TouchKind, index int) {
+	if it.Touch != nil {
+		it.Touch(kind, index)
+	}
+}
+
+func (it *BDFSIter) contrib(src int) uint64 {
+	deg := it.g.OutDegree(src)
+	if deg == 0 {
+		return 0
+	}
+	return it.ranks[src] / uint64(deg)
+}
+
+// Emitted returns the number of edges produced so far.
+func (it *BDFSIter) Emitted() int { return it.emitted }
+
+// Next yields the next edge visit, or ok=false when every edge has been
+// visited.
+func (it *BDFSIter) Next() (EdgeVisit, bool) {
+	for {
+		// Refill the stack from the next unvisited root.
+		for len(it.stack) == 0 {
+			if it.root >= it.g.V {
+				return EdgeVisit{}, false
+			}
+			v := it.root
+			it.root++
+			it.touch(TouchVisited, v)
+			if it.visited[v] {
+				continue
+			}
+			it.visited[v] = true
+			it.touch(TouchOffset, v)
+			it.touch(TouchRank, v)
+			it.stack = append(it.stack, bdfsFrame{v, 0})
+		}
+		f := &it.stack[len(it.stack)-1]
+		it.touch(TouchCursor, f.v)
+		if it.nextEdge[f.v] >= it.g.Offsets[f.v+1] {
+			it.stack = it.stack[:len(it.stack)-1]
+			continue
+		}
+		e := it.nextEdge[f.v]
+		it.nextEdge[f.v]++
+		it.touch(TouchNeighbor, int(e))
+		dst := int(it.g.Neighbors[e])
+		ev := EdgeVisit{Src: f.v, Dst: dst, Contrib: it.contrib(f.v)}
+		it.touch(TouchVisited, dst)
+		if !it.visited[dst] && f.depth < it.maxDepth {
+			it.visited[dst] = true
+			depth := f.depth + 1
+			it.touch(TouchOffset, dst)
+			it.touch(TouchRank, dst)
+			it.stack = append(it.stack, bdfsFrame{dst, depth})
+		}
+		it.emitted++
+		return ev, true
+	}
+}

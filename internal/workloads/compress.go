@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"tako/internal/mem"
+)
+
+// CompressedData is the base+delta lossy-compressed data set of the
+// decompression study (§3, similar to base-delta-immediate [107]):
+// values[i] = bases[i/BlockSize] + deltas[i]. The application reads a
+// Zipfian stream of indices and needs the decompressed values.
+type CompressedData struct {
+	N         int
+	BlockSize int
+	Bases     []uint64
+	Deltas    []uint64 // small values (fit in a byte, stored as words)
+}
+
+// GenCompressed builds a data set of n values in blocks of blockSize.
+func GenCompressed(n, blockSize int, seed int64) *CompressedData {
+	rng := rand.New(rand.NewSource(seed))
+	d := &CompressedData{N: n, BlockSize: blockSize}
+	blocks := (n + blockSize - 1) / blockSize
+	d.Bases = make([]uint64, blocks)
+	for i := range d.Bases {
+		d.Bases[i] = uint64(rng.Intn(1 << 30))
+	}
+	d.Deltas = make([]uint64, n)
+	for i := range d.Deltas {
+		d.Deltas[i] = uint64(rng.Intn(256))
+	}
+	return d
+}
+
+// Value decompresses index i functionally.
+func (d *CompressedData) Value(i int) uint64 {
+	return d.Bases[i/d.BlockSize] + d.Deltas[i]
+}
+
+// CompressedMem is the data set laid out in simulated memory.
+type CompressedMem struct {
+	D      *CompressedData
+	Bases  mem.Region
+	Deltas mem.Region
+}
+
+// Layout writes the compressed arrays into simulated memory.
+func (d *CompressedData) Layout(space *mem.Space, store *mem.Memory) *CompressedMem {
+	cm := &CompressedMem{
+		D:      d,
+		Bases:  space.Alloc("comp.bases", uint64(len(d.Bases))*8),
+		Deltas: space.Alloc("comp.deltas", uint64(len(d.Deltas))*8),
+	}
+	for i, b := range d.Bases {
+		store.WriteU64(cm.Bases.Word(uint64(i)), b)
+	}
+	for i, dl := range d.Deltas {
+		store.WriteU64(cm.Deltas.Word(uint64(i)), dl)
+	}
+	return cm
+}
+
+// ZipfIndices generates a stream of `count` indices over [0, n) following
+// a Zipfian distribution ([21]), the access pattern of the decompression
+// study: 32 K indices over 16 K values by default (§3.3).
+func ZipfIndices(count, n int, seed int64) []int {
+	return ZipfIndicesS(count, n, 1.2, seed)
+}
+
+// ZipfIndicesS is ZipfIndices with an explicit skew exponent s (> 1;
+// web-trace skews [21] are mild, heavily cached workloads higher).
+func ZipfIndicesS(count, n int, s float64, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	out := make([]int, count)
+	perm := rng.Perm(n) // decorrelate popularity from position
+	for i := range out {
+		out[i] = perm[int(z.Uint64())]
+	}
+	return out
+}

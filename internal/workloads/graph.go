@@ -1,0 +1,148 @@
+// Package workloads provides the inputs the paper's evaluation runs on:
+// synthetic graphs with and without community structure (standing in for
+// uk-2002 and the 160M-edge synthetic graphs, scaled down per DESIGN.md),
+// push-style PageRank reference implementations, Zipfian index streams
+// for the decompression study [21], and base+delta compressed data sets.
+package workloads
+
+import (
+	"math/rand"
+
+	"tako/internal/mem"
+)
+
+// Graph is a directed graph in CSR form.
+type Graph struct {
+	V, E      int
+	Offsets   []uint64 // V+1 entries into Neighbors
+	Neighbors []uint64 // E destination vertex ids
+}
+
+// OutDegree returns vertex v's out-degree.
+func (g *Graph) OutDegree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neigh returns v's adjacency slice.
+func (g *Graph) Neigh(v int) []uint64 {
+	return g.Neighbors[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// fromAdjacency builds CSR from an adjacency list.
+func fromAdjacency(adj [][]uint64) *Graph {
+	v := len(adj)
+	g := &Graph{V: v, Offsets: make([]uint64, v+1)}
+	for i, ns := range adj {
+		g.Offsets[i+1] = g.Offsets[i] + uint64(len(ns))
+		g.Neighbors = append(g.Neighbors, ns...)
+	}
+	g.E = len(g.Neighbors)
+	return g
+}
+
+// GenUniform generates a graph with e edges whose endpoints are chosen
+// uniformly at random: no community structure, the worst case for
+// locality-oriented traversal scheduling.
+func GenUniform(v, e int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]uint64, v)
+	for i := 0; i < e; i++ {
+		src := rng.Intn(v)
+		dst := rng.Intn(v)
+		adj[src] = append(adj[src], uint64(dst))
+	}
+	return fromAdjacency(adj)
+}
+
+// GenCommunity generates a graph with strong community structure
+// ([13, 78]; the property HATS exploits, §8.2): vertices are partitioned
+// into communities and each edge stays inside its source's community
+// with probability pIntra. Vertex ids are shuffled so memory order does
+// not coincide with community order — exactly the situation where
+// vertex-ordered traversal loses locality and BDFS recovers it.
+func GenCommunity(v, e, communities int, pIntra float64, seed int64) *Graph {
+	if communities < 1 {
+		communities = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Assign shuffled ids to communities.
+	perm := rng.Perm(v)
+	commOf := make([]int, v)
+	members := make([][]int, communities)
+	for i, p := range perm {
+		c := i * communities / v
+		commOf[p] = c
+		members[c] = append(members[c], p)
+	}
+	adj := make([][]uint64, v)
+	for i := 0; i < e; i++ {
+		src := rng.Intn(v)
+		var dst int
+		if rng.Float64() < pIntra {
+			m := members[commOf[src]]
+			dst = m[rng.Intn(len(m))]
+		} else {
+			dst = rng.Intn(v)
+		}
+		adj[src] = append(adj[src], uint64(dst))
+	}
+	return fromAdjacency(adj)
+}
+
+// Symmetrize returns a graph with every edge duplicated in reverse, so
+// directed scatter along its edges propagates information both ways
+// (how undirected algorithms like connected components run on push
+// frameworks).
+func Symmetrize(g *Graph) *Graph {
+	adj := make([][]uint64, g.V)
+	for src := 0; src < g.V; src++ {
+		for _, d := range g.Neigh(src) {
+			adj[src] = append(adj[src], d)
+			adj[int(d)] = append(adj[int(d)], uint64(src))
+		}
+	}
+	return fromAdjacency(adj)
+}
+
+// GraphMem is a graph laid out in simulated memory: 8-byte words for
+// offsets, neighbor ids, and per-vertex data.
+type GraphMem struct {
+	G          *Graph
+	Offsets    mem.Region
+	Neighbors  mem.Region
+	VertexData mem.Region
+}
+
+// Layout writes the graph into the simulated address space and backing
+// store. Vertex data is allocated zeroed.
+func (g *Graph) Layout(space *mem.Space, store *mem.Memory) *GraphMem {
+	gm := &GraphMem{
+		G:          g,
+		Offsets:    space.Alloc("graph.offsets", uint64(g.V+1)*8),
+		Neighbors:  space.Alloc("graph.neighbors", uint64(maxI(g.E, 1))*8),
+		VertexData: space.Alloc("graph.vertexdata", uint64(g.V)*8),
+	}
+	for i, off := range g.Offsets {
+		store.WriteU64(gm.Offsets.Word(uint64(i)), off)
+	}
+	for i, n := range g.Neighbors {
+		store.WriteU64(gm.Neighbors.Word(uint64(i)), n)
+	}
+	return gm
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// OffsetAddr returns the address of vertex v's CSR offset.
+func (gm *GraphMem) OffsetAddr(v int) mem.Addr { return gm.Offsets.Word(uint64(v)) }
+
+// NeighborAddr returns the address of the i-th neighbor entry.
+func (gm *GraphMem) NeighborAddr(i uint64) mem.Addr { return gm.Neighbors.Word(i) }
+
+// VertexAddr returns the address of vertex v's data word.
+func (gm *GraphMem) VertexAddr(v int) mem.Addr { return gm.VertexData.Word(uint64(v)) }

@@ -1,0 +1,118 @@
+package workloads
+
+// Push-style PageRank with integer contributions: each iteration every
+// vertex scatters rank[src]/outdeg(src) to its out-neighbors
+// (commutative adds — the access pattern PHI accelerates, §8.1). Integer
+// arithmetic keeps the simulated runs bit-exact against these reference
+// implementations.
+
+// InitialRank is every vertex's starting rank.
+const InitialRank uint64 = 1 << 20
+
+// PageRankRef computes `iters` push iterations functionally and returns
+// the final ranks. Dangling vertices (out-degree 0) contribute nothing.
+func PageRankRef(g *Graph, iters int) []uint64 {
+	ranks := make([]uint64, g.V)
+	for i := range ranks {
+		ranks[i] = InitialRank
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]uint64, g.V)
+		for src := 0; src < g.V; src++ {
+			deg := g.OutDegree(src)
+			if deg == 0 {
+				continue
+			}
+			contrib := ranks[src] / uint64(deg)
+			for _, dst := range g.Neigh(src) {
+				next[dst] += contrib
+			}
+		}
+		ranks = next
+	}
+	return ranks
+}
+
+// EdgeVisit is one unit of PageRank edge work: the contribution pushed
+// along one edge.
+type EdgeVisit struct {
+	Src, Dst int
+	Contrib  uint64
+}
+
+// VertexOrderedEdges enumerates edge visits in vertex (memory) order —
+// the baseline traversal whose poor locality HATS attacks (§8.2).
+func VertexOrderedEdges(g *Graph, ranks []uint64, visit func(EdgeVisit)) {
+	for src := 0; src < g.V; src++ {
+		deg := g.OutDegree(src)
+		if deg == 0 {
+			continue
+		}
+		contrib := ranks[src] / uint64(deg)
+		for _, dst := range g.Neigh(src) {
+			visit(EdgeVisit{Src: src, Dst: int(dst), Contrib: contrib})
+		}
+	}
+}
+
+// BDFSEdges enumerates edge visits in bounded depth-first order (HATS
+// [92]): from each unvisited root, follow out-edges depth-first up to
+// maxDepth, bounding fanout per level, so vertices of one community are
+// visited close together. Every edge is visited exactly once: the
+// traversal walks the edge array, not the vertex set.
+func BDFSEdges(g *Graph, ranks []uint64, maxDepth int, visit func(EdgeVisit)) {
+	visited := make([]bool, g.V)
+	nextEdge := make([]uint64, g.V)
+	for v := range nextEdge {
+		nextEdge[v] = g.Offsets[v]
+	}
+	contrib := func(src int) uint64 {
+		deg := g.OutDegree(src)
+		if deg == 0 {
+			return 0
+		}
+		return ranks[src] / uint64(deg)
+	}
+	type frame struct {
+		v     int
+		depth int
+	}
+	var stack []frame
+	for root := 0; root < g.V; root++ {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		stack = append(stack[:0], frame{root, 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if nextEdge[f.v] >= g.Offsets[f.v+1] {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			dst := int(g.Neighbors[nextEdge[f.v]])
+			nextEdge[f.v]++
+			visit(EdgeVisit{Src: f.v, Dst: dst, Contrib: contrib(f.v)})
+			if !visited[dst] && f.depth < maxDepth {
+				visited[dst] = true
+				stack = append(stack, frame{dst, f.depth + 1})
+			}
+		}
+	}
+}
+
+// CountEdges returns how many edge visits an enumerator produces (test
+// helper: both orders must cover every edge exactly once).
+func CountEdges(enumerate func(func(EdgeVisit))) int {
+	n := 0
+	enumerate(func(EdgeVisit) { n++ })
+	return n
+}
+
+// ApplyVisits folds edge visits into a rank vector (reference semantics
+// for one scatter phase).
+func ApplyVisits(g *Graph, enumerate func(func(EdgeVisit))) []uint64 {
+	next := make([]uint64, g.V)
+	enumerate(func(ev EdgeVisit) { next[ev.Dst] += ev.Contrib })
+	return next
+}

@@ -1,0 +1,248 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tako/internal/mem"
+)
+
+func TestGenUniformShape(t *testing.T) {
+	g := GenUniform(100, 1000, 1)
+	if g.V != 100 || g.E != 1000 {
+		t.Fatalf("V=%d E=%d", g.V, g.E)
+	}
+	if int(g.Offsets[g.V]) != g.E {
+		t.Fatalf("offsets end = %d", g.Offsets[g.V])
+	}
+	for _, n := range g.Neighbors {
+		if n >= uint64(g.V) {
+			t.Fatalf("neighbor %d out of range", n)
+		}
+	}
+}
+
+func TestGenCommunityLocality(t *testing.T) {
+	const v, e, comms = 1000, 10000, 20
+	g := GenCommunity(v, e, comms, 0.95, 7)
+	if g.E != e {
+		t.Fatalf("E=%d", g.E)
+	}
+	// Community graphs must have far more "nearby" edges after BDFS
+	// grouping than uniform graphs. Proxy check: count distinct
+	// destination blocks visited per window of 100 BDFS edge visits,
+	// community should be lower than uniform.
+	spread := func(g *Graph) float64 {
+		ranks := make([]uint64, g.V)
+		var windows, total int
+		seen := map[int]bool{}
+		i := 0
+		BDFSEdges(g, ranks, 8, func(ev EdgeVisit) {
+			seen[ev.Dst/64] = true
+			i++
+			if i%100 == 0 {
+				total += len(seen)
+				windows++
+				seen = map[int]bool{}
+			}
+		})
+		if windows == 0 {
+			return 0
+		}
+		return float64(total) / float64(windows)
+	}
+	u := GenUniform(v, e, 7)
+	if spread(g) >= spread(u) {
+		t.Fatalf("community BDFS spread %.1f not tighter than uniform %.1f", spread(g), spread(u))
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := GenCommunity(100, 500, 5, 0.9, 3)
+	b := GenCommunity(100, 500, 5, 0.9, 3)
+	for i := range a.Neighbors {
+		if a.Neighbors[i] != b.Neighbors[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+}
+
+func TestPageRankRefConservesMass(t *testing.T) {
+	g := GenUniform(50, 400, 2)
+	ranks := PageRankRef(g, 1)
+	// Total pushed mass = sum over vertices with outdeg>0 of
+	// deg*(rank/deg); with integer division this is ≤ initial total.
+	var total uint64
+	for _, r := range ranks {
+		total += r
+	}
+	if total == 0 || total > uint64(g.V)*InitialRank {
+		t.Fatalf("total rank %d out of bounds", total)
+	}
+}
+
+func TestTraversalsCoverEveryEdgeOnce(t *testing.T) {
+	g := GenCommunity(200, 2000, 8, 0.9, 5)
+	ranks := make([]uint64, g.V)
+	vo := CountEdges(func(f func(EdgeVisit)) { VertexOrderedEdges(g, ranks, f) })
+	bd := CountEdges(func(f func(EdgeVisit)) { BDFSEdges(g, ranks, 8, f) })
+	if vo != g.E || bd != g.E {
+		t.Fatalf("edge visits: vertex-ordered %d, bdfs %d, want %d", vo, bd, g.E)
+	}
+}
+
+func TestBDFSMatchesVertexOrderedSemantics(t *testing.T) {
+	g := GenCommunity(100, 1500, 4, 0.9, 11)
+	ranks := PageRankRef(g, 1)
+	a := ApplyVisits(g, func(f func(EdgeVisit)) { VertexOrderedEdges(g, ranks, f) })
+	b := ApplyVisits(g, func(f func(EdgeVisit)) { BDFSEdges(g, ranks, 6, f) })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank[%d]: vertex-ordered %d vs bdfs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: BDFS visits each edge exactly once on arbitrary graphs.
+func TestQuickBDFSEdgeCoverage(t *testing.T) {
+	f := func(seed int64, vRaw, eRaw uint8) bool {
+		v := int(vRaw)%50 + 2
+		e := int(eRaw)%200 + 1
+		g := GenUniform(v, e, seed)
+		ranks := make([]uint64, g.V)
+		return CountEdges(func(fn func(EdgeVisit)) { BDFSEdges(g, ranks, 5, fn) }) == g.E
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphLayoutRoundTrip(t *testing.T) {
+	g := GenUniform(20, 100, 9)
+	space := mem.NewSpace()
+	store := mem.NewMemory()
+	gm := g.Layout(space, store)
+	for v := 0; v <= g.V; v++ {
+		if got := store.ReadU64(gm.Offsets.Word(uint64(v))); got != g.Offsets[v] {
+			t.Fatalf("offset[%d] = %d, want %d", v, got, g.Offsets[v])
+		}
+	}
+	for i := 0; i < g.E; i++ {
+		if got := store.ReadU64(gm.NeighborAddr(uint64(i))); got != g.Neighbors[i] {
+			t.Fatalf("neighbor[%d] = %d", i, got)
+		}
+	}
+	if store.ReadU64(gm.VertexAddr(3)) != 0 {
+		t.Fatal("vertex data not zeroed")
+	}
+}
+
+func TestCompressedValues(t *testing.T) {
+	d := GenCompressed(1000, 8, 4)
+	space := mem.NewSpace()
+	store := mem.NewMemory()
+	cm := d.Layout(space, store)
+	for i := 0; i < d.N; i += 97 {
+		base := store.ReadU64(cm.Bases.Word(uint64(i / d.BlockSize)))
+		delta := store.ReadU64(cm.Deltas.Word(uint64(i)))
+		if base+delta != d.Value(i) {
+			t.Fatalf("value[%d] mismatch", i)
+		}
+	}
+}
+
+func TestZipfIndicesSkewed(t *testing.T) {
+	idx := ZipfIndices(32*1024, 16*1024, 1)
+	counts := map[int]int{}
+	for _, i := range idx {
+		if i < 0 || i >= 16*1024 {
+			t.Fatalf("index %d out of range", i)
+		}
+		counts[i]++
+	}
+	// Zipfian skew: far fewer distinct values than draws.
+	if len(counts) >= len(idx)/2 {
+		t.Fatalf("distribution not skewed: %d distinct of %d", len(counts), len(idx))
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100 {
+		t.Fatalf("hottest value only %d hits; not Zipfian", max)
+	}
+}
+
+func TestBDFSIterMatchesBDFSEdges(t *testing.T) {
+	g := GenCommunity(300, 3000, 10, 0.9, 17)
+	ranks := PageRankRef(g, 1)
+	var fromEnum []EdgeVisit
+	BDFSEdges(g, ranks, 6, func(ev EdgeVisit) { fromEnum = append(fromEnum, ev) })
+	it := NewBDFSIter(g, ranks, 6)
+	for i := 0; ; i++ {
+		ev, ok := it.Next()
+		if !ok {
+			if i != len(fromEnum) {
+				t.Fatalf("iterator stopped at %d, want %d", i, len(fromEnum))
+			}
+			break
+		}
+		if i >= len(fromEnum) || ev != fromEnum[i] {
+			t.Fatalf("visit %d: iter %+v vs enum %+v", i, ev, fromEnum[i])
+		}
+	}
+	if it.Emitted() != g.E {
+		t.Fatalf("emitted %d, want %d", it.Emitted(), g.E)
+	}
+}
+
+func TestBDFSIterTouchHook(t *testing.T) {
+	g := GenUniform(50, 400, 3)
+	ranks := make([]uint64, g.V)
+	it := NewBDFSIter(g, ranks, 4)
+	counts := map[TouchKind]int{}
+	it.Touch = func(k TouchKind, idx int) { counts[k]++ }
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != g.E {
+		t.Fatalf("emitted %d edges, want %d", n, g.E)
+	}
+	// Every edge touches its neighbor entry exactly once.
+	if counts[TouchNeighbor] != g.E {
+		t.Fatalf("neighbor touches = %d, want %d", counts[TouchNeighbor], g.E)
+	}
+	if counts[TouchOffset] == 0 || counts[TouchVisited] == 0 || counts[TouchCursor] == 0 {
+		t.Fatalf("touch counts: %v", counts)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	g := GenUniform(40, 200, 13)
+	sg := Symmetrize(g)
+	if sg.E != 2*g.E {
+		t.Fatalf("symmetrized E = %d, want %d", sg.E, 2*g.E)
+	}
+	// Every original edge exists in both directions.
+	has := func(g *Graph, u, v int) bool {
+		for _, d := range g.Neigh(u) {
+			if int(d) == v {
+				return true
+			}
+		}
+		return false
+	}
+	for src := 0; src < g.V; src++ {
+		for _, d := range g.Neigh(src) {
+			if !has(sg, src, int(d)) || !has(sg, int(d), src) {
+				t.Fatalf("edge %d->%d not symmetric", src, d)
+			}
+		}
+	}
+}
