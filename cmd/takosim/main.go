@@ -4,7 +4,7 @@
 // Usage:
 //
 //	takosim -list
-//	takosim -exp fig13 [-full]
+//	takosim -exp fig13 [-full] [-verify]
 package main
 
 import (
@@ -14,15 +14,21 @@ import (
 	"time"
 
 	"tako/internal/exp"
+	"tako/internal/hier"
 )
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list available experiments")
-		id   = flag.String("exp", "", "experiment id to run (e.g. fig6, table2)")
-		full = flag.Bool("full", false, "run at full (slow) scale instead of quick scale")
+		list   = flag.Bool("list", false, "list available experiments")
+		id     = flag.String("exp", "", "experiment id to run (e.g. fig6, table2)")
+		full   = flag.Bool("full", false, "run at full (slow) scale instead of quick scale")
+		verify = flag.Bool("verify", false, "run with coherence-freshness assertions and the periodic hierarchy-wide invariant checker (slower; panics on the first violation)")
 	)
 	flag.Parse()
+
+	if *verify {
+		hier.SetVerifyDefaults(true, 128)
+	}
 
 	if *list || *id == "" {
 		fmt.Println("available experiments:")

@@ -1,0 +1,73 @@
+// Package examples holds end-to-end smoke tests: every example program
+// must build, and the quickstart and decompression walkthroughs must run
+// to completion with non-trivial stats.
+package examples
+
+import (
+	"os/exec"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+func runExample(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = ".."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestExamplesBuild(t *testing.T) {
+	cmd := exec.Command("go", "build", "-o", t.TempDir(), "./examples/...")
+	cmd.Dir = ".."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./examples/...: %v\n%s", err, out)
+	}
+}
+
+func TestQuickstartEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child simulation")
+	}
+	out := runExample(t, "./examples/quickstart")
+	for _, stat := range []string{
+		`onMiss fills:\s+(\d+)`,
+		`onEviction runs:\s+(\d+)`,
+		`simulated time:\s+(\d+) cycles`,
+	} {
+		m := regexp.MustCompile(stat).FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("output missing %q:\n%s", stat, out)
+		}
+		if n, _ := strconv.Atoi(m[1]); n == 0 {
+			t.Fatalf("stat %q is zero:\n%s", stat, out)
+		}
+	}
+	if !regexp.MustCompile(`squares\[ *500\] = +250000`).MatchString(out) {
+		t.Fatalf("quickstart computed wrong squares:\n%s", out)
+	}
+}
+
+func TestDecompressionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child simulation")
+	}
+	out := runExample(t, "./examples/decompression", "-values", "2048", "-reads", "4096")
+	// Every variant row reports non-zero cycles.
+	rows := regexp.MustCompile(`(?m)^(\S+)\s+(\d+)\s`).FindAllStringSubmatch(out, -1)
+	if len(rows) < 5 {
+		t.Fatalf("want >= 5 variant rows, got %d:\n%s", len(rows), out)
+	}
+	for _, r := range rows {
+		if n, _ := strconv.Atoi(r[2]); n == 0 {
+			t.Fatalf("variant %s reports zero cycles:\n%s", r[1], out)
+		}
+	}
+	if !regexp.MustCompile(`(\d+\.\d+)x faster than the baseline`).MatchString(out) {
+		t.Fatalf("no speedup summary:\n%s", out)
+	}
+}

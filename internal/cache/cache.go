@@ -347,6 +347,50 @@ func (c *Cache) Walk(fn func(*LineState)) {
 	}
 }
 
+// WalkSets calls fn for every set with its full way array (valid and
+// invalid lines), exposing replacement state to invariant checkers and
+// verification harnesses. fn must not mutate the slice.
+func (c *Cache) WalkSets(fn func(setIdx int, set []LineState)) {
+	for s := range c.sets {
+		fn(s, c.sets[s])
+	}
+}
+
+// CheckReplacementState verifies the structural sanity of every set: no
+// duplicate tags, line-aligned tags indexing to their own set, RRPV
+// within the 2-bit range, and invalid lines carrying no stale metadata
+// bits. Used by the hierarchy-wide invariant checker.
+func (c *Cache) CheckReplacementState() error {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if !l.Valid {
+				if l.Dirty || l.Morph || l.Locked || l.Phantom {
+					return fmt.Errorf("cache %s: set %d way %d invalid but carries state bits", c.cfg.Name, s, w)
+				}
+				continue
+			}
+			if l.Tag != l.Tag.Line() {
+				return fmt.Errorf("cache %s: set %d way %d tag %v not line-aligned", c.cfg.Name, s, w, l.Tag)
+			}
+			if c.SetIndex(l.Tag) != s {
+				return fmt.Errorf("cache %s: line %v stored in set %d, indexes to %d",
+					c.cfg.Name, l.Tag, s, c.SetIndex(l.Tag))
+			}
+			if l.RRPV > rrpvMax {
+				return fmt.Errorf("cache %s: line %v RRPV %d beyond max %d", c.cfg.Name, l.Tag, l.RRPV, rrpvMax)
+			}
+			for w2 := w + 1; w2 < len(c.sets[s]); w2++ {
+				if c.sets[s][w2].Valid && c.sets[s][w2].Tag == l.Tag {
+					return fmt.Errorf("cache %s: duplicate tag %v in set %d (ways %d, %d)",
+						c.cfg.Name, l.Tag, s, w, w2)
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // LinesInRegion returns the addresses of cached lines within r, in
 // deterministic (set, way) order. Used by flushData tag walks (§4.4).
 func (c *Cache) LinesInRegion(r mem.Region) []mem.Addr {

@@ -1,0 +1,96 @@
+package cache
+
+import (
+	"testing"
+
+	"tako/internal/mem"
+)
+
+// TestTRRIPEngineStreamEvictsItself: a stream of engine fills through a
+// set churns through the distant-priority slot, evicting its own
+// previous line each time, while core-resident lines survive untouched
+// (trrîp pollution avoidance, §5.2).
+func TestTRRIPEngineStreamEvictsItself(t *testing.T) {
+	c := tiny(NewTRRIP())
+	for i := 0; i < 3; i++ {
+		fill(c, addrFor(0, i), FillOpts{})
+	}
+	var prev mem.Addr
+	for i := 0; i < 20; i++ {
+		a := addrFor(0, 10+i)
+		ev := fill(c, a, FillOpts{EngineFill: true})
+		if ls := c.Lookup(a); ls == nil || !ls.EngineFill || ls.RRPV != rrpvMax {
+			t.Fatalf("engine fill %v not inserted at distant priority: %+v", a, ls)
+		}
+		if i == 0 {
+			if ev.Valid {
+				t.Fatalf("first engine fill evicted %v from a set with a free way", ev.Tag)
+			}
+		} else if !ev.Valid || ev.Tag != prev {
+			t.Fatalf("engine fill %d evicted %+v, want the previous stream line %v", i, ev, prev)
+		}
+		prev = a
+	}
+	for i := 0; i < 3; i++ {
+		if c.Lookup(addrFor(0, i)) == nil {
+			t.Fatalf("core line %d displaced by the engine stream", i)
+		}
+	}
+}
+
+// TestRRIPVictimTieBreakAndAging pins Victim's determinism at the policy
+// level: the first allowed distant way wins, and aging touches only the
+// allowed ways.
+func TestRRIPVictimTieBreakAndAging(t *testing.T) {
+	p := NewTRRIP()
+	set := make([]LineState, 4)
+	for i := range set {
+		set[i].Valid = true
+	}
+	set[0].RRPV, set[1].RRPV, set[2].RRPV, set[3].RRPV = 2, 3, 1, 3
+	all := func(int) bool { return true }
+	if w := p.Victim(set, all); w != 1 {
+		t.Fatalf("victim = %d, want first distant way 1", w)
+	}
+	// No distant line among the allowed ways: both age to distant and
+	// the lower way wins; disallowed ways must not age.
+	set[0].RRPV, set[1].RRPV, set[2].RRPV, set[3].RRPV = 1, 2, 0, 2
+	only13 := func(w int) bool { return w == 1 || w == 3 }
+	if w := p.Victim(set, only13); w != 1 {
+		t.Fatalf("victim = %d, want way 1 after aging", w)
+	}
+	if set[0].RRPV != 1 || set[2].RRPV != 0 {
+		t.Fatalf("aging touched disallowed ways: %+v", set)
+	}
+}
+
+// TestCallbackFreeVictimUnderMorphPressure: sustained Morph insert
+// pressure must never consume a set's last callback-free way. After
+// every insert the §5.2 invariant holds and every set can still produce
+// a CallbackFree victim, so an engine under writeback-buffer pressure
+// always has somewhere deadlock-free to put a line.
+func TestCallbackFreeVictimUnderMorphPressure(t *testing.T) {
+	c := New(Config{Name: "p", SizeBytes: 4 * 4 * mem.LineSize, Ways: 4, Policy: NewTRRIP()})
+	sets := c.NumSets()
+	for i := 0; i < 64*sets; i++ {
+		a := mem.Addr(uint64(i) * mem.LineSize)
+		if c.Lookup(a) != nil {
+			continue
+		}
+		opts := FillOpts{Morph: true, Phantom: i%2 == 0, Dirty: i%3 == 0, EngineFill: i%5 == 0}
+		way, ok := c.ChooseVictimForInsert(a, opts, VictimConstraint{})
+		if !ok {
+			t.Fatalf("insert %d: no victim for a Morph fill", i)
+		}
+		c.FillAt(a, way, nil, opts)
+		if err := c.CheckMorphInvariant(); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		for s := 0; s < sets; s++ {
+			probe := mem.Addr(uint64(s) * mem.LineSize)
+			if _, ok := c.ChooseVictim(probe, VictimConstraint{CallbackFree: true}); !ok {
+				t.Fatalf("insert %d: set %d lost its callback-free victim", i, s)
+			}
+		}
+	}
+}

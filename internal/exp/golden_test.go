@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden snapshots")
+
+// TestGoldenCaseStudies pins the rendered stats of the five case-study
+// drivers (quick configurations) to golden snapshots. The simulator is
+// deterministic, so any diff is a behavior change: either a regression,
+// or an intentional change to be re-recorded with
+//
+//	go test ./internal/exp -run Golden -update
+func TestGoldenCaseStudies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, id := range []string{"fig6", "fig13", "fig16", "fig19", "fig21"} {
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			tbl, err := e.Run(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tbl.String()
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden snapshot (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s diverged from its golden snapshot\n--- got ---\n%s--- want ---\n%s", id, got, want)
+			}
+		})
+	}
+}

@@ -24,6 +24,9 @@ func (h *Hierarchy) Load(p *sim.Proc, tileID int, a mem.Addr) uint64 {
 	start := p.Now()
 	ls := h.access(p, tileID, a, accessOpts{})
 	v := ls.Data.U64(a.Offset() &^ 7)
+	if h.obs != nil {
+		h.obs.LoadCommitted(tileID, a, v)
+	}
 	h.LoadLat.Observe(float64(p.Now() - start))
 	return v
 }
@@ -33,11 +36,18 @@ func (h *Hierarchy) Store(p *sim.Proc, tileID int, a mem.Addr, v uint64) {
 	ls := h.access(p, tileID, a, accessOpts{write: true})
 	ls.Data.SetU64(a.Offset()&^7, v)
 	ls.Dirty = true
+	if h.obs != nil {
+		h.obs.StoreCommitted(tileID, a, v)
+	}
+	h.event("store")
 }
 
 // LoadLine reads the full line containing a (a vector load).
 func (h *Hierarchy) LoadLine(p *sim.Proc, tileID int, a mem.Addr) mem.Line {
 	ls := h.access(p, tileID, a, accessOpts{})
+	if h.obs != nil {
+		h.obs.LineLoaded(tileID, a, &ls.Data)
+	}
 	return ls.Data
 }
 
@@ -46,6 +56,10 @@ func (h *Hierarchy) StoreLine(p *sim.Proc, tileID int, a mem.Addr, line *mem.Lin
 	ls := h.access(p, tileID, a, accessOpts{write: true})
 	ls.Data = *line
 	ls.Dirty = true
+	if h.obs != nil {
+		h.obs.LineStored(tileID, a, line, false)
+	}
+	h.event("storeline")
 }
 
 // StoreLineNT performs a non-temporal full-line store: the line is
@@ -54,6 +68,12 @@ func (h *Hierarchy) StoreLine(p *sim.Proc, tileID int, a mem.Addr, line *mem.Lin
 // Update-batching implementations stream their bins this way.
 func (h *Hierarchy) StoreLineNT(p *sim.Proc, tileID int, a mem.Addr, line *mem.Line) {
 	la := a.Line()
+	home := h.HomeTile(la)
+	// Take the home-line lock before touching the directory: a fetch in
+	// flight under the lock may be about to install fresh sharers, and
+	// invalidating before it completes would let those copies survive
+	// the supersede and go stale.
+	unlock := h.lockHomeLine(p, la)
 	// A full-line store supersedes all cached copies.
 	if e, ok := h.dir[la]; ok {
 		for s := 0; s < h.cfg.Tiles; s++ {
@@ -64,8 +84,6 @@ func (h *Hierarchy) StoreLineNT(p *sim.Proc, tileID int, a mem.Addr, line *mem.L
 		}
 		delete(h.dir, la)
 	}
-	home := h.HomeTile(la)
-	unlock := h.lockHomeLine(p, la)
 	hm := h.tiles[home]
 	if ls3 := hm.l3.Lookup(la); ls3 != nil {
 		ls3.Data = *line
@@ -74,6 +92,10 @@ func (h *Hierarchy) StoreLineNT(p *sim.Proc, tileID int, a mem.Addr, line *mem.L
 	} else {
 		h.DRAM.WriteLine(la, line) // bypasses the cache entirely
 	}
+	if h.obs != nil {
+		h.obs.LineStored(tileID, a, line, true)
+	}
+	h.event("nt.store")
 	h.Counters.Inc("nt.stores")
 	p.Sleep(h.Mesh.Transfer(tileID, home, mem.LineSize))
 	unlock()
@@ -86,8 +108,13 @@ func (h *Hierarchy) StoreLineNT(p *sim.Proc, tileID int, a mem.Addr, line *mem.L
 func (h *Hierarchy) AtomicAddLocal(p *sim.Proc, tileID int, a mem.Addr, delta uint64) {
 	ls := h.access(p, tileID, a, accessOpts{write: true})
 	off := a.Offset() &^ 7
-	ls.Data.SetU64(off, ls.Data.U64(off)+delta)
+	old := ls.Data.U64(off)
+	ls.Data.SetU64(off, old+delta)
 	ls.Dirty = true
+	if h.obs != nil {
+		h.obs.RMOCommitted(tileID, a, RMOAdd, delta, old, old+delta)
+	}
+	h.event("atomic.add")
 }
 
 // AtomicRMOLocal performs a commutative read-modify-write with operator
@@ -95,8 +122,13 @@ func (h *Hierarchy) AtomicAddLocal(p *sim.Proc, tileID int, a mem.Addr, delta ui
 func (h *Hierarchy) AtomicRMOLocal(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, v uint64) {
 	ls := h.access(p, tileID, a, accessOpts{write: true})
 	off := a.Offset() &^ 7
-	ls.Data.SetU64(off, op.apply(ls.Data.U64(off), v))
+	old := ls.Data.U64(off)
+	ls.Data.SetU64(off, op.apply(old, v))
 	ls.Dirty = true
+	if h.obs != nil {
+		h.obs.RMOCommitted(tileID, a, op, v, old, op.apply(old, v))
+	}
+	h.event("atomic.rmo")
 }
 
 // AtomicExchange swaps the word at a with v locally (LL/SC-style, §8.2),
@@ -107,6 +139,10 @@ func (h *Hierarchy) AtomicExchange(p *sim.Proc, tileID int, a mem.Addr, v uint64
 	old := ls.Data.U64(off)
 	ls.Data.SetU64(off, v)
 	ls.Dirty = true
+	if h.obs != nil {
+		h.obs.ExchangeCommitted(tileID, a, v, old)
+	}
+	h.event("atomic.xchg")
 	return old
 }
 
@@ -169,12 +205,20 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 			if o.engine {
 				sib = t.l1
 			}
-			if ls, ok := sib.ExtractLine(la); ok {
+			if sib.Contains(la) {
 				h.Counters.Inc("snoop.migrations")
 				h.Meter.Add(energy.L1Access, 1)
 				p.Sleep(h.cfg.L1Latency)
-				meta := fillMeta{phantom: ls.Phantom, dirty: ls.Dirty, engine: o.engine}
-				h.fillTop(tileID, a, &ls.Data, meta, o.engine)
+				// Extract only after the latency sleep: a line held in
+				// a local variable across a sleep is invisible to
+				// concurrent invalidations and downgrades, and
+				// re-installing it would resurrect dirty data they
+				// could not see. If the copy vanished during the
+				// sleep, the retry refetches it.
+				if ls, ok := sib.ExtractLine(la); ok {
+					meta := fillMeta{phantom: ls.Phantom, dirty: ls.Dirty, engine: o.engine}
+					h.fillTop(tileID, a, &ls.Data, meta, o.engine)
+				}
 				// Retry from the top: the hit path applies write
 				// permission checks and replacement updates.
 				continue
@@ -204,6 +248,14 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 				ls2 = t.l2.Lookup(a)
 				if ls2 == nil {
 					continue // evicted during the data-array sleep
+				}
+				if o.write && !h.hasExclusive(tileID, la) {
+					// Ownership was revoked during the data-array
+					// sleep (a concurrent read downgraded us):
+					// dirtying the line now would skip the
+					// invalidation of the new sharers. Retry, which
+					// re-upgrades.
+					continue
 				}
 				if o.prefetch {
 					return ls2
@@ -244,6 +296,10 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 		t.pending[la] = fut
 		data, meta := h.fetchLine(p, tileID, a, o)
 		meta.engine = o.engine
+		// Everything except private phantom lines went through the home
+		// directory, which registered us as a sharer (and owner, for
+		// writes) during the fetch.
+		viaHome := !(meta.morph && meta.phantom)
 		if allocL2 {
 			// The L2 copy stays clean: dirtiness is tracked at the
 			// writing L1 and merged down on eviction, so a stale L2
@@ -258,6 +314,22 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 			topMeta := meta
 			topMeta.morph = false
 			h.fillTop(tileID, a, &data, topMeta, o.engine)
+		}
+		if viaHome && !h.dirStillGrants(tileID, la, o.write) {
+			// The insertL2 retry loop slept with the fetched line in
+			// flight, where a concurrent RMO, NT store, back-inval, or
+			// downgrade could not see it. The directory no longer
+			// grants this tile the line: the just-installed copies are
+			// stale, so drop them and retry the whole access.
+			top.ExtractLine(la)
+			t.l2.ExtractLine(la)
+			h.removeSharerIfNoCopies(tileID, la)
+			delete(t.pending, la)
+			if usedMSHR {
+				t.mshr.Release()
+			}
+			fut.Complete()
+			continue
 		}
 		delete(t.pending, la)
 		if usedMSHR {
@@ -379,6 +451,7 @@ func (h *Hierarchy) upgrade(p *sim.Proc, tileID int, la mem.Addr) {
 	e.owner = tileID
 	h.debugLogHome(la, fmt.Sprintf("upgrade-grant(%d)", tileID), 0)
 	h.debugCheckFresh(tileID, la, "upgrade")
+	h.event("upgrade")
 	p.Sleep(h.Mesh.Latency(tileID, home, 8) + maxLat + h.Mesh.Latency(home, tileID, 8))
 }
 
@@ -566,6 +639,7 @@ func (h *Hierarchy) dirAction(p *sim.Proc, tileID int, la mem.Addr, o accessOpts
 		}
 		e.add(tileID)
 	}
+	h.event("dirAction")
 	if extra > 0 {
 		p.Sleep(extra)
 	}

@@ -6,8 +6,11 @@ import (
 	"tako/internal/mem"
 )
 
-// debugHomeLog records the last few mutations of each home line.
-var debugHomeLog = map[mem.Addr][]string{}
+// Freshness checking state lives on the Hierarchy (not in package
+// globals) so parallel tests and coexisting hierarchies cannot
+// cross-contaminate each other's histories or toggles. Enable it per
+// hierarchy with Config.FreshChecks or SetFreshChecks, or process-wide
+// for configs built by DefaultConfig with SetVerifyDefaults.
 
 func (h *Hierarchy) debugDir(la mem.Addr) string {
 	e, ok := h.dir[la]
@@ -17,27 +20,32 @@ func (h *Hierarchy) debugDir(la mem.Addr) string {
 	return fmt.Sprintf("dir{sharers=%b owner=%d}", e.sharers, e.owner)
 }
 
+// debugLogHome records the last few mutations of each home line.
 func (h *Hierarchy) debugLogHome(la mem.Addr, site string, w0 uint64) {
-	if !debugFreshChecks {
+	if !h.freshChecks {
 		return
 	}
-	l := append(debugHomeLog[la], fmt.Sprintf("%s@%d w2=%d %s", site, h.K.Now(), w0, h.debugDir(la)))
+	l := append(h.homeLog[la], fmt.Sprintf("%s@%d w2=%d %s", site, h.K.Now(), w0, h.debugDir(la)))
 	if len(l) > 16 {
 		l = l[len(l)-16:]
 	}
-	debugHomeLog[la] = l
+	h.homeLog[la] = l
+}
+
+// SetFreshChecks toggles expensive coherence-freshness assertions on
+// this hierarchy; tests enable them to catch stale-copy bugs at their
+// source.
+func (h *Hierarchy) SetFreshChecks(on bool) {
+	h.freshChecks = on
+	if on && h.homeLog == nil {
+		h.homeLog = make(map[mem.Addr][]string)
+	}
 }
 
 // debugCheckFresh panics if tileID holds a clean copy of la that differs
 // from the home L3 copy — a coherence bug. Enabled by tests.
-var debugFreshChecks = false
-
-// SetFreshChecks toggles expensive coherence-freshness assertions; tests
-// enable them to catch stale-copy bugs at their source.
-func SetFreshChecks(on bool) { debugFreshChecks = on }
-
 func (h *Hierarchy) debugCheckFresh(tileID int, la mem.Addr, where string) {
-	if !debugFreshChecks {
+	if !h.freshChecks {
 		return
 	}
 	hm := h.tiles[h.HomeTile(la)]
@@ -57,11 +65,11 @@ func (h *Hierarchy) debugCheckFresh(tileID int, la mem.Addr, where string) {
 	for _, c := range t.privateCaches() {
 		if ls := c.Lookup(la); ls != nil && ls.Data != ls3.Data {
 			panic(fmt.Sprintf("STALE at %s: tile %d cache %v line %v local=%v home=%v\nhistory: %v",
-				where, tileID, c.Config().Name, la, ls.Data, ls3.Data, debugHomeLog[la]))
+				where, tileID, c.Config().Name, la, ls.Data, ls3.Data, h.homeLog[la]))
 		}
 	}
 }
 
 // DebugHomeHistory returns the recorded mutation history of a home line
-// (debug builds only).
-func DebugHomeHistory(la mem.Addr) []string { return debugHomeLog[la] }
+// (populated only while fresh checks are enabled).
+func (h *Hierarchy) DebugHomeHistory(la mem.Addr) []string { return h.homeLog[la] }

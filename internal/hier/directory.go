@@ -93,6 +93,19 @@ func (h *Hierarchy) downgradeOwner(tileID int, la mem.Addr) (data mem.Line, dirt
 	return data, dirty
 }
 
+// dirStillGrants reports whether la's directory entry still records
+// tileID as a sharer — and as the owner, when write permission is
+// required. Fetches re-validate this after any sleep between the home
+// grant and the private-side install: a concurrent invalidation cannot
+// see (or recall) a line that is in flight between caches.
+func (h *Hierarchy) dirStillGrants(tileID int, la mem.Addr, write bool) bool {
+	e, ok := h.dir[la]
+	if !ok || !e.has(tileID) {
+		return false
+	}
+	return !write || e.owner == tileID
+}
+
 // removeSharerIfNoCopies drops tile from la's sharer set once its private
 // domain holds no copy, deleting empty entries.
 func (h *Hierarchy) removeSharerIfNoCopies(tileID int, la mem.Addr) {

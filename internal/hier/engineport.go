@@ -35,6 +35,9 @@ func (h *Hierarchy) engineTLB(p *sim.Proc, tileID int, a mem.Addr) {
 func (h *Hierarchy) EngineLoadWord(p *sim.Proc, tileID int, a mem.Addr, cbLevel Level) uint64 {
 	h.engineTLB(p, tileID, a)
 	ls := h.access(p, tileID, a, h.engineOpts(cbLevel, false))
+	if h.obs != nil {
+		h.obs.EngineAccess(tileID, a, false)
+	}
 	return ls.Data.U64(a.Offset() &^ 7)
 }
 
@@ -43,6 +46,9 @@ func (h *Hierarchy) EngineLoadWord(p *sim.Proc, tileID int, a mem.Addr, cbLevel 
 func (h *Hierarchy) EngineLoadLine(p *sim.Proc, tileID int, a mem.Addr, cbLevel Level) mem.Line {
 	h.engineTLB(p, tileID, a)
 	ls := h.access(p, tileID, a, h.engineOpts(cbLevel, false))
+	if h.obs != nil {
+		h.obs.EngineAccess(tileID, a, false)
+	}
 	return ls.Data
 }
 
@@ -52,6 +58,10 @@ func (h *Hierarchy) EngineStoreWord(p *sim.Proc, tileID int, a mem.Addr, v uint6
 	ls := h.access(p, tileID, a, h.engineOpts(cbLevel, true))
 	ls.Data.SetU64(a.Offset()&^7, v)
 	ls.Dirty = true
+	if h.obs != nil {
+		h.obs.EngineAccess(tileID, a, true)
+	}
+	h.event("engine.store")
 }
 
 // EngineStoreLine writes a full line on tileID's engine.
@@ -60,6 +70,10 @@ func (h *Hierarchy) EngineStoreLine(p *sim.Proc, tileID int, a mem.Addr, data *m
 	ls := h.access(p, tileID, a, h.engineOpts(cbLevel, true))
 	ls.Data = *data
 	ls.Dirty = true
+	if h.obs != nil {
+		h.obs.EngineAccess(tileID, a, true)
+	}
+	h.event("engine.store")
 }
 
 // EngineAtomicAddWord performs a read-modify-write add on tileID's
@@ -70,6 +84,10 @@ func (h *Hierarchy) EngineAtomicAddWord(p *sim.Proc, tileID int, a mem.Addr, del
 	off := a.Offset() &^ 7
 	ls.Data.SetU64(off, ls.Data.U64(off)+delta)
 	ls.Dirty = true
+	if h.obs != nil {
+		h.obs.EngineAccess(tileID, a, true)
+	}
+	h.event("engine.rmw")
 }
 
 // EngineLoadLineAsync issues a non-blocking engine line fetch on a
@@ -92,6 +110,10 @@ func (h *Hierarchy) EngineRMWWord(p *sim.Proc, tileID int, a mem.Addr, op RMOOp,
 	off := a.Offset() &^ 7
 	ls.Data.SetU64(off, op.apply(ls.Data.U64(off), v))
 	ls.Dirty = true
+	if h.obs != nil {
+		h.obs.EngineAccess(tileID, a, true)
+	}
+	h.event("engine.rmw")
 }
 
 // EnginePersistLine writes a line durably: the data is stored through

@@ -32,6 +32,7 @@ func (h *Hierarchy) FlushRegion(p *sim.Proc, tileID int, region mem.Region, leve
 	// complete: flushData guarantees no further racing writes from any
 	// callback (§4.4).
 	h.cbInflight.Wait(p)
+	h.event("flush")
 	h.Trace("flush", "flush.done", region.String())
 }
 
@@ -63,11 +64,18 @@ func (h *Hierarchy) flushPrivate(p *sim.Proc, tileID int, region mem.Region, fut
 			p.Sleep(1)
 		}
 	}
-	// Lines cached above the L2 but inside the region (shouldn't
-	// happen thanks to inclusion, but cheap to enforce).
+	// Lines cached above the L2 but inside the region: engine lines
+	// fetched around the L2 (shared-callback path) live only in the
+	// engine L1d, so their dirty data must reach the shared level.
 	for _, c := range t.privateCaches() {
 		for _, la := range c.LinesInRegion(region) {
-			c.ExtractLine(la)
+			if ls, ok := c.ExtractLine(la); ok {
+				if ls.Dirty {
+					h.writebackToShared(tileID, la, ls.Data)
+				} else {
+					h.removeSharerIfNoCopies(tileID, la)
+				}
+			}
 		}
 	}
 }

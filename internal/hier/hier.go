@@ -19,6 +19,7 @@ package hier
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"tako/internal/cache"
 	"tako/internal/dram"
@@ -132,15 +133,42 @@ type Config struct {
 	// means trrîp everywhere.
 	NewPolicy func() cache.Policy
 
+	// FreshChecks enables per-access coherence-freshness assertions
+	// (debugcheck.go); expensive, intended for tests and -verify runs.
+	FreshChecks bool
+	// SelfCheckEvery > 0 runs the full hierarchy-wide invariant checker
+	// (CheckInvariants) every that many state-changing events.
+	SelfCheckEvery int
+
 	NoC  noc.Config
 	DRAM dram.Config
 
 	RTLB tlb.Config
 }
 
+// Package-wide verification defaults picked up by DefaultConfig, so
+// harnesses (takosim -verify, tests) can arm checking for every
+// hierarchy built through the standard config paths without plumbing
+// flags through each experiment runner.
+var (
+	defaultFreshChecks    atomic.Bool
+	defaultSelfCheckEvery atomic.Int64
+)
+
+// SetVerifyDefaults arms (or disarms) verification for all configs
+// subsequently built by DefaultConfig/ScaledConfig: fresh enables
+// coherence-freshness assertions, selfCheckEvery > 0 runs the full
+// invariant checker every that many hierarchy events.
+func SetVerifyDefaults(fresh bool, selfCheckEvery int) {
+	defaultFreshChecks.Store(fresh)
+	defaultSelfCheckEvery.Store(int64(selfCheckEvery))
+}
+
 // DefaultConfig returns the Table 3 system for the given tile count.
 func DefaultConfig(tiles int) Config {
 	return Config{
+		FreshChecks:     defaultFreshChecks.Load(),
+		SelfCheckEvery:  int(defaultSelfCheckEvery.Load()),
 		Tiles:           tiles,
 		L1Size:          32 * 1024,
 		L1Ways:          8,
@@ -258,6 +286,16 @@ type Hierarchy struct {
 	// tracer records structured events when attached (nil = off).
 	tracer *trace.Tracer
 
+	// obs receives commit-point notifications (observer.go); nil = off.
+	obs Observer
+	// eventCount drives the periodic self-check (Config.SelfCheckEvery).
+	eventCount uint64
+
+	// Freshness-assertion state (debugcheck.go), per hierarchy so
+	// concurrent tests cannot cross-contaminate.
+	freshChecks bool
+	homeLog     map[mem.Addr][]string
+
 	// Counters holds named event counts (hits, misses, callbacks...).
 	Counters stats.Counters
 	// LoadLat records demand-load latencies from cores (Fig 17).
@@ -285,7 +323,9 @@ func New(k *sim.Kernel, cfg Config, meter *energy.Meter, registry Registry, runn
 		runner:     runner,
 		dir:        make(map[mem.Addr]*dirEntry),
 		cbInflight: sim.NewWaitGroup(k),
+		homeLog:    make(map[mem.Addr][]string),
 	}
+	h.freshChecks = cfg.FreshChecks
 	bankShift := log2(cfg.Tiles)
 	for i := 0; i < cfg.Tiles; i++ {
 		t := &tile{

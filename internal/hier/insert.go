@@ -52,6 +52,7 @@ func (h *Hierarchy) insertL2(tileID int, a mem.Addr, data *mem.Line, meta fillMe
 	if evicted.Valid {
 		h.handleL2Eviction(tileID, evicted, nil)
 	}
+	h.event("l2.insert")
 	return true
 }
 
@@ -151,6 +152,7 @@ func (h *Hierarchy) writebackToShared(tileID int, la mem.Addr, data mem.Line) {
 		e.owner = -1
 	}
 	h.removeSharerIfNoCopies(tileID, la)
+	h.event("l2.writeback")
 	h.Counters.Inc("l2.writebacks")
 	h.Meter.Add(energy.L3Access, 1)
 	t := h.tiles[tileID]
@@ -184,6 +186,7 @@ func (h *Hierarchy) insertL3(homeID int, a mem.Addr, data *mem.Line, meta fillMe
 		h.debugLogHome(evicted.Tag, "l3-evict", evicted.Data.U64(16))
 		h.handleL3Eviction(homeID, evicted, nil)
 	}
+	h.event("l3.insert")
 	return true
 }
 
@@ -252,18 +255,30 @@ func (h *Hierarchy) morphEvictShared(homeID int, ev cache.LineState, b Binding, 
 		*futs = append(*futs, lock)
 	}
 	data := ev.Data
+	// Lock the home line synchronously when it is free, matching
+	// morphEvictPrivate: the callback now owns this line's data, and a
+	// fetch re-materializing the line (and accepting stores) before the
+	// writeback callback ran would have its updates clobbered when the
+	// callback finally persisted the older evicted data.
+	locked := hm.l3pending[la] == nil
+	if locked {
+		hm.l3pending[la] = lock
+	}
 	h.cbInflight.Add(1)
 	h.K.Go(fmt.Sprintf("l3evict-cb@%d", homeID), func(p *sim.Proc) {
-		// Queue politely behind any in-flight home-side operation on
-		// this line rather than clobbering its lock.
-		for {
-			f := hm.l3pending[la]
-			if f == nil {
-				break
+		if !locked {
+			// An in-flight home-side operation held the line at
+			// eviction time; queue politely behind it rather than
+			// clobbering its lock.
+			for {
+				f := hm.l3pending[la]
+				if f == nil {
+					break
+				}
+				p.Wait(f)
 			}
-			p.Wait(f)
+			hm.l3pending[la] = lock
 		}
-		hm.l3pending[la] = lock
 		hm.wbbuf.Acquire(p)
 		accepted, done := h.runner.Run(homeID, kind, b, la, &data)
 		p.Wait(accepted)

@@ -147,8 +147,13 @@ func (h *Hierarchy) runRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, delta 
 				delete(h.dir, la)
 			}
 			off := a.Offset() &^ 7
-			line.SetU64(off, op.apply(line.U64(off), delta))
+			old := line.U64(off)
+			line.SetU64(off, op.apply(old, delta))
 			h.DRAM.WriteLine(la, &line)
+			if h.obs != nil {
+				h.obs.RMOCommitted(tileID, a, op, delta, old, op.apply(old, delta))
+			}
+			h.event("rmo.bypass")
 			return
 		}
 	} else {
@@ -179,8 +184,14 @@ func (h *Hierarchy) runRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, delta 
 		delete(h.dir, la)
 	}
 	off := a.Offset() &^ 7
-	ls3.Data.SetU64(off, op.apply(ls3.Data.U64(off), delta))
+	old := ls3.Data.U64(off)
+	ls3.Data.SetU64(off, op.apply(old, delta))
 	ls3.Dirty = true
+	h.debugLogHome(la, fmt.Sprintf("rmo-commit(from=%d)", tileID), ls3.Data.U64(16))
+	if h.obs != nil {
+		h.obs.RMOCommitted(tileID, a, op, delta, old, op.apply(old, delta))
+	}
+	h.event("rmo.commit")
 }
 
 // DrainRMOs blocks until every RMO issued by tileID has completed (used

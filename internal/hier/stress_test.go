@@ -9,11 +9,10 @@ import (
 )
 
 func TestAtomicAddLocalNoLostUpdates(t *testing.T) {
-	debugFreshChecks = true
-	defer func() { debugFreshChecks = false }()
 	k := sim.NewKernel()
 	cfg := ScaledConfig(4, 16)
 	h := New(k, cfg, energy.NewMeter(), nil, nil)
+	h.SetFreshChecks(true)
 	const per = 500
 	const nLines = 8
 	for tile := 0; tile < 4; tile++ {

@@ -6,7 +6,6 @@ import (
 	"tako/internal/core"
 	"tako/internal/cpu"
 	"tako/internal/engine"
-	"tako/internal/hier"
 	"tako/internal/mem"
 	"tako/internal/sim"
 	"tako/internal/system"
@@ -490,7 +489,7 @@ func RunPHI(v PHIVariant, prm PHIParams) (Result, error) {
 			gotSum, wantSum,
 			s.H.Counters.Get("rmo.issued"), s.H.Counters.Get("cb.onWriteback"),
 			inPlaceTotal, binnedTotal, s.H.Counters.Get("flush.lines"),
-			vline, hier.DebugHomeHistory(vline))
+			vline, s.H.DebugHomeHistory(vline))
 	}
 	r := collect(s, "phi", string(v), cycles)
 	r.Extra["updates.inplace"] = float64(inPlaceTotal)

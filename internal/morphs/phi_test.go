@@ -17,8 +17,8 @@ func TestPHIShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	hier.SetFreshChecks(true)
-	defer hier.SetFreshChecks(false)
+	hier.SetVerifyDefaults(true, 0)
+	defer hier.SetVerifyDefaults(false, 0)
 	res, err := RunPHIAll(smallPHIParams())
 	if err != nil {
 		t.Fatal(err)

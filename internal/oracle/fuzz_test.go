@@ -1,0 +1,33 @@
+package oracle
+
+import (
+	"testing"
+)
+
+// FuzzTrace decodes arbitrary bytes into an operation trace (6 bytes
+// per op, round-robin across 2 tiles) and runs it through the full
+// hierarchy with the oracle attached. Any interleaving the fuzzer finds
+// must still satisfy the reference model and every invariant.
+func FuzzTrace(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 2})  // load then store, same line
+	f.Add([]byte{1, 4, 3, 0, 2, 9, 0, 4, 3, 0, 2, 9})  // phantom store/load
+	f.Add([]byte{8, 0, 1, 0, 0, 5, 10, 0, 0, 0, 0, 0}) // remote add + drain
+	f.Add([]byte{11, 4, 0, 0, 0, 0, 0, 4, 0, 0, 0, 0}) // flush phantom, reload
+	f.Add([]byte{3, 5, 2, 0, 0, 7, 5, 5, 2, 0, 1, 7})  // private phantom line ops
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) == 0 {
+			t.Skip()
+		}
+		if len(script) > 1200 { // ≤200 ops bounds simulated time
+			script = script[:1200]
+		}
+		cfg := TraceConfig{Tiles: 2, CacheScale: 32, CheckEvery: 64, Script: script}
+		res, err := RunTrace(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Oracle.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
