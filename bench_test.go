@@ -16,6 +16,8 @@ import (
 	"tako/internal/mem"
 	"tako/internal/morphs"
 	"tako/internal/sim"
+	"tako/internal/stats"
+	"tako/internal/trace"
 )
 
 // runExperiment executes one registered experiment per bench iteration.
@@ -359,6 +361,103 @@ func BenchmarkLayoutMorph(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(res[morphs.LayoutTako].Speedup(res[morphs.LayoutBaseline]), "speedup")
+	}
+}
+
+// Observability benches: the metrics registry and tracer live inside the
+// hierarchy's hot paths, so the disabled configurations (nil handle, nil
+// tracer) must cost a single predictable branch and zero allocations —
+// these benches lock that in.
+
+// BenchmarkMetricCounterInc measures the pre-resolved hot-path handle: one
+// registry lookup at attach time, then pointer increments forever.
+func BenchmarkMetricCounterInc(b *testing.B) {
+	c := stats.NewRegistry().Counter("bench.hits", stats.L("tile", 0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != uint64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+// BenchmarkMetricCounterIncDisabled is the same increment through a nil
+// handle — the metrics-off configuration every component runs with when no
+// registry was attached.
+func BenchmarkMetricCounterIncDisabled(b *testing.B) {
+	var c *stats.Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkMetricHistogramObserve measures the log2-bucketed latency
+// histogram's hot path (bits.Len64 + a few field updates, no allocation).
+func BenchmarkMetricHistogramObserve(b *testing.B) {
+	h := stats.NewRegistry().Histogram("bench.latency")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) & 1023)
+	}
+}
+
+// BenchmarkMetricHistogramObserveDisabled observes through a nil handle.
+func BenchmarkMetricHistogramObserveDisabled(b *testing.B) {
+	var h *stats.Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) & 1023)
+	}
+}
+
+// BenchmarkMetricRegistryColdInc measures the name-based cold path (map
+// lookup per increment) that hot paths avoid by pre-resolving handles.
+func BenchmarkMetricRegistryColdInc(b *testing.B) {
+	r := stats.NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Inc("bench.hits")
+	}
+}
+
+// BenchmarkTracerEmitSpan measures span emission into the ring buffer
+// (no sink attached).
+func BenchmarkTracerEmitSpan(b *testing.B) {
+	tr := trace.New(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := uint64(i)
+		tr.EmitSpan(c, c+40, "l2.0", "l2.miss", "")
+	}
+}
+
+// BenchmarkTracerEmitSpanDisabled emits through a nil tracer — the
+// tracing-off configuration wired into every hot path.
+func BenchmarkTracerEmitSpanDisabled(b *testing.B) {
+	var tr *trace.Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := uint64(i)
+		tr.EmitSpan(c, c+40, "l2.0", "l2.miss", "")
+	}
+}
+
+// BenchmarkTracerEmitSpanFiltered emits spans a kind filter rejects —
+// the cost of tracing some kinds while a hot path emits another.
+func BenchmarkTracerEmitSpanFiltered(b *testing.B) {
+	tr := trace.New(4096)
+	tr.Filter("cb.*")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := uint64(i)
+		tr.EmitSpan(c, c+40, "l2.0", "l2.miss", "")
 	}
 }
 

@@ -4,9 +4,19 @@
 // Usage:
 //
 //	takoreport [-full] [-out report.txt] [-skip fig25,fig22]
+//	takoreport -bench bench.json [-golden ops.golden.json]
+//
+// -bench captures every run's typed metrics (per-experiment cycle and
+// architectural-op counts, latency histograms) into a JSON report. With
+// -golden, each experiment's op count is compared against the golden
+// file and any drift fails the command — ops (committed core + engine
+// instructions + DRAM transfers) are deterministic and insensitive to
+// timing-model tuning, so CI gates on them while cycle counts are only
+// reported. -update-golden rewrites the golden from the current run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,13 +24,32 @@ import (
 	"time"
 
 	"tako/internal/exp"
+	"tako/internal/system"
 )
+
+// benchEntry aggregates one experiment's captured runs.
+type benchEntry struct {
+	ID     string             `json:"id"`
+	Ops    uint64             `json:"ops"`    // summed over runs; gated against the golden
+	Cycles uint64             `json:"cycles"` // summed over runs; reported, never gated
+	Runs   []system.RunRecord `json:"runs"`
+}
+
+// benchReport is the document written by -bench.
+type benchReport struct {
+	Scale       string       `json:"scale"`
+	Experiments []benchEntry `json:"experiments"`
+}
 
 func main() {
 	var (
-		full = flag.Bool("full", false, "run at full (slow) scale")
-		out  = flag.String("out", "", "also write the report to this file")
-		skip = flag.String("skip", "", "comma-separated experiment ids to skip")
+		full  = flag.Bool("full", false, "run at full (slow) scale")
+		out   = flag.String("out", "", "also write the report to this file")
+		skip  = flag.String("skip", "", "comma-separated experiment ids to skip")
+		bench = flag.String("bench", "", "write per-experiment metrics (JSON) to this file")
+
+		golden       = flag.String("golden", "", "compare each experiment's op count against this golden JSON (requires -bench)")
+		updateGolden = flag.Bool("update-golden", false, "rewrite the -golden file from this run instead of comparing")
 	)
 	flag.Parse()
 
@@ -38,8 +67,13 @@ func main() {
 		report.WriteString(s)
 	}
 
+	scale := "quick"
+	if *full {
+		scale = "full"
+	}
 	emit("täkō reproduction report — every table and figure of the evaluation\n")
-	emit("scale: quick=%v\n\n", !*full)
+	emit("scale: %s\n\n", scale)
+	var entries []benchEntry
 	failures := 0
 	for _, e := range exp.All() {
 		if skipped[e.ID] {
@@ -47,8 +81,25 @@ func main() {
 			continue
 		}
 		emit("== %s: %s ==\npaper: %s\n", e.ID, e.Title, e.Paper)
+		if *bench != "" {
+			system.StartCapture(system.CaptureConfig{})
+		}
 		start := time.Now()
 		tbl, err := e.Run(!*full)
+		if *bench != "" {
+			runs, _ := system.StopCapture()
+			entry := benchEntry{ID: e.ID, Runs: runs}
+			if entry.Runs == nil {
+				entry.Runs = []system.RunRecord{}
+			}
+			for _, r := range runs {
+				entry.Ops += r.Ops
+				entry.Cycles += r.Cycles
+			}
+			if err == nil {
+				entries = append(entries, entry)
+			}
+		}
 		if err != nil {
 			emit("ERROR: %v\n\n", err)
 			failures++
@@ -63,8 +114,93 @@ func main() {
 		}
 		fmt.Printf("report written to %s\n", *out)
 	}
+	if *bench != "" {
+		if err := writeBench(*bench, scale, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "takoreport: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench metrics written to %s (%d experiments)\n", *bench, len(entries))
+		if *golden != "" {
+			if err := checkGolden(*golden, scale, entries, *updateGolden); err != nil {
+				fmt.Fprintf(os.Stderr, "takoreport: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "takoreport: %d experiments failed\n", failures)
 		os.Exit(1)
 	}
+}
+
+func writeBench(path, scale string, entries []benchEntry) error {
+	if entries == nil {
+		entries = []benchEntry{}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(benchReport{Scale: scale, Experiments: entries}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// opsGolden is the golden-file shape: per-scale maps of experiment id to
+// expected architectural op count.
+type opsGolden map[string]map[string]uint64
+
+// checkGolden gates each experiment's op count against the golden file
+// (or rewrites the file when update is set). Experiments absent from the
+// golden are reported but don't fail, so adding an experiment doesn't
+// break CI before the golden is refreshed.
+func checkGolden(path, scale string, entries []benchEntry, update bool) error {
+	g := opsGolden{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &g); err != nil {
+			return fmt.Errorf("parse golden %s: %v", path, err)
+		}
+	} else if !update {
+		return fmt.Errorf("read golden %s: %v (run with -update-golden to create it)", path, err)
+	}
+	if update {
+		m := map[string]uint64{}
+		for _, e := range entries {
+			m[e.ID] = e.Ops
+		}
+		g[scale] = m
+		data, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("ops golden updated: %s [%s]\n", path, scale)
+		return nil
+	}
+	want, ok := g[scale]
+	if !ok {
+		return fmt.Errorf("golden %s has no %q scale (run with -update-golden)", path, scale)
+	}
+	var drift []string
+	for _, e := range entries {
+		w, ok := want[e.ID]
+		if !ok {
+			fmt.Printf("ops gate: %s not in golden (ops=%d); refresh with -update-golden\n", e.ID, e.Ops)
+			continue
+		}
+		if e.Ops != w {
+			drift = append(drift, fmt.Sprintf("%s: ops %d, golden %d", e.ID, e.Ops, w))
+		}
+	}
+	if len(drift) > 0 {
+		return fmt.Errorf("op counts drifted from golden %s:\n  %s", path, strings.Join(drift, "\n  "))
+	}
+	fmt.Printf("ops gate: %d experiments match golden\n", len(entries))
+	return nil
 }

@@ -5,16 +5,29 @@
 //
 //	takosim -list
 //	takosim -exp fig13 [-full] [-verify]
+//	takosim -exp fig13 -metrics out.json
+//	takosim -exp fig13 -trace out.trace.json -trace-format chrome
+//
+// -metrics writes every run's typed metrics snapshot (counters, gauges,
+// latency histograms) as deterministic JSON. -trace streams structured
+// events to a file: "chrome" produces a Chrome trace-event file loadable
+// in https://ui.perfetto.dev (one process per simulated system, one
+// track per component, nested callback spans), "jsonl" one JSON object
+// per line. -trace-kinds filters events, -trace-min-dur drops spans
+// shorter than the given cycle count to keep large traces focused.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"tako/internal/exp"
 	"tako/internal/hier"
+	"tako/internal/system"
+	"tako/internal/trace"
 )
 
 func main() {
@@ -23,6 +36,12 @@ func main() {
 		id     = flag.String("exp", "", "experiment id to run (e.g. fig6, table2)")
 		full   = flag.Bool("full", false, "run at full (slow) scale instead of quick scale")
 		verify = flag.Bool("verify", false, "run with coherence-freshness assertions and the periodic hierarchy-wide invariant checker (slower; panics on the first violation)")
+
+		metricsOut  = flag.String("metrics", "", "write per-run metrics snapshots (JSON) to this file")
+		traceOut    = flag.String("trace", "", "stream structured trace events to this file")
+		traceFormat = flag.String("trace-format", "chrome", "trace format: chrome (Perfetto-loadable) or jsonl")
+		traceKinds  = flag.String("trace-kinds", "", "comma-separated event-kind filters (e.g. 'cb.*,dram.*,l3.*'); empty records everything")
+		traceMinDur = flag.Uint64("trace-min-dur", 0, "drop spans shorter than this many cycles (instants are kept)")
 	)
 	flag.Parse()
 
@@ -47,6 +66,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "takosim: unknown experiment %q (use -list)\n", *id)
 		os.Exit(2)
 	}
+
+	capturing := *metricsOut != "" || *traceOut != ""
+	var traceFile *os.File
+	if capturing {
+		cfg := system.CaptureConfig{TraceMinSpan: *traceMinDur}
+		for _, k := range strings.Split(*traceKinds, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				cfg.TraceKinds = append(cfg.TraceKinds, k)
+			}
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "takosim: %v\n", err)
+				os.Exit(1)
+			}
+			traceFile = f
+			sink, err := trace.SinkFor(*traceFormat, f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "takosim: %v\n", err)
+				os.Exit(2)
+			}
+			cfg.Sink = sink
+		}
+		system.StartCapture(cfg)
+	}
+
 	fmt.Printf("== %s: %s ==\npaper: %s\n\n", e.ID, e.Title, e.Paper)
 	start := time.Now()
 	tbl, err := e.Run(!*full)
@@ -56,4 +102,34 @@ func main() {
 	}
 	fmt.Print(tbl.String())
 	fmt.Printf("\n(%s wall clock)\n", time.Since(start).Round(time.Millisecond))
+
+	if capturing {
+		runs, err := system.StopCapture()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "takosim: closing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "takosim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace written to %s (%s)\n", *traceOut, *traceFormat)
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "takosim: %v\n", err)
+				os.Exit(1)
+			}
+			if err := system.WriteMetricsReport(f, runs); err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "takosim: writing metrics: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics written to %s (%d runs)\n", *metricsOut, len(runs))
+		}
+	}
 }

@@ -7,9 +7,13 @@
 package dram
 
 import (
+	"fmt"
+
 	"tako/internal/energy"
 	"tako/internal/mem"
 	"tako/internal/sim"
+	"tako/internal/stats"
+	"tako/internal/trace"
 )
 
 // Config describes the memory system.
@@ -44,6 +48,15 @@ type DRAM struct {
 	PhaseAccesses  map[string]uint64
 	StallCycles    sim.Cycle // total cycles requests waited for a free controller
 	persistedLines map[mem.Addr]struct{}
+
+	// Observability (AttachMetrics/AttachTracer; all handles nil-safe).
+	mReads, mWrites *stats.Counter
+	mQueueWait      *stats.Histogram // cycles each request waited for its controller
+	mDepth          []*stats.Gauge   // per-controller backlog, sampled periodically
+	samplePeriod    sim.Cycle
+	lastSample      sim.Cycle
+	tracer          *trace.Tracer
+	compCtrl        []string // pre-rendered "dram.N" component labels
 }
 
 // New builds a DRAM model over the given backing store.
@@ -60,6 +73,52 @@ func New(k *sim.Kernel, cfg Config, store *mem.Memory, meter *energy.Meter) *DRA
 		PerCtrl:        make([]uint64, cfg.Controllers),
 		PhaseAccesses:  make(map[string]uint64),
 		persistedLines: make(map[mem.Addr]struct{}),
+	}
+}
+
+// DefaultSamplePeriod is the queue-depth sampling period used when the
+// caller does not configure one.
+const DefaultSamplePeriod sim.Cycle = 1024
+
+// AttachMetrics resolves this DRAM's registry handles: dram.reads and
+// dram.writes counters, a dram.queue.wait latency histogram, and one
+// dram.queue.depth{ctrl=N} gauge per controller sampled lazily every
+// samplePeriod cycles (0 = DefaultSamplePeriod). Sampling is lazy — the
+// backlog is inspected at request time, never via kernel events — so it
+// adds no events to the simulation and cannot perturb timing.
+func (d *DRAM) AttachMetrics(r *stats.Registry, samplePeriod sim.Cycle) {
+	d.mReads = r.Counter("dram.reads")
+	d.mWrites = r.Counter("dram.writes")
+	d.mQueueWait = r.Histogram("dram.queue.wait")
+	d.mDepth = make([]*stats.Gauge, d.cfg.Controllers)
+	d.compCtrl = make([]string, d.cfg.Controllers)
+	for i := range d.mDepth {
+		d.mDepth[i] = r.Gauge("dram.queue.depth", stats.L("ctrl", i))
+		d.compCtrl[i] = fmt.Sprintf("dram.%d", i)
+	}
+	if samplePeriod == 0 {
+		samplePeriod = DefaultSamplePeriod
+	}
+	d.samplePeriod = samplePeriod
+}
+
+// AttachTracer makes each controller emit one span per line transfer
+// (dram.N track, kind dram.read/dram.write); nil disables.
+func (d *DRAM) AttachTracer(t *trace.Tracer) { d.tracer = t }
+
+// sampleDepth records each controller's backlog — how many whole requests
+// deep its bandwidth queue currently is — at most once per sample period.
+func (d *DRAM) sampleDepth(now sim.Cycle) {
+	if d.mDepth == nil || (d.lastSample != 0 && now-d.lastSample < d.samplePeriod) {
+		return
+	}
+	d.lastSample = now
+	for i, free := range d.nextFree {
+		depth := int64(0)
+		if free > now {
+			depth = int64((free - now + d.cfg.CyclesPerLine - 1) / d.cfg.CyclesPerLine)
+		}
+		d.mDepth[i].Set(depth)
 	}
 }
 
@@ -95,13 +154,28 @@ func (d *DRAM) ControllerFor(a mem.Addr) int {
 // occupy reserves controller bandwidth and returns the completion time of
 // one line transfer starting no earlier than now.
 func (d *DRAM) occupy(ctrl int) sim.Cycle {
-	start := d.k.Now()
+	now := d.k.Now()
+	d.sampleDepth(now)
+	start := now
 	if d.nextFree[ctrl] > start {
 		d.StallCycles += d.nextFree[ctrl] - start
 		start = d.nextFree[ctrl]
 	}
+	d.mQueueWait.Observe(start - now)
 	d.nextFree[ctrl] = start + d.cfg.CyclesPerLine
 	return start + d.cfg.Latency
+}
+
+// transfer runs one line transfer through a's controller, emitting its
+// span (request arrival through transfer completion) when traced.
+func (d *DRAM) transfer(a mem.Addr, kind string) sim.Cycle {
+	ctrl := d.ControllerFor(a)
+	now := d.k.Now()
+	done := d.occupy(ctrl)
+	if d.tracer != nil && d.compCtrl != nil {
+		d.tracer.EmitSpan(now, done, d.compCtrl[ctrl], kind, a.Line().String())
+	}
+	return done
 }
 
 func (d *DRAM) account(a mem.Addr, write bool) {
@@ -123,10 +197,11 @@ func (d *DRAM) account(a mem.Addr, write bool) {
 // layer), and the returned future completes when the transfer finishes.
 func (d *DRAM) ReadLine(a mem.Addr, dst *mem.Line) *sim.Future {
 	d.Reads++
+	d.mReads.Inc()
 	d.account(a, false)
 	d.store.PeekLine(a, dst)
 	f := sim.NewFuture(d.k)
-	f.CompleteAt(d.occupy(d.ControllerFor(a)))
+	f.CompleteAt(d.transfer(a, "dram.read"))
 	return f
 }
 
@@ -134,13 +209,14 @@ func (d *DRAM) ReadLine(a mem.Addr, dst *mem.Line) *sim.Future {
 // the future completes when the controller finishes the transfer.
 func (d *DRAM) WriteLine(a mem.Addr, src *mem.Line) *sim.Future {
 	d.Writes++
+	d.mWrites.Inc()
 	d.account(a, true)
 	d.store.WriteLine(a, src)
 	if d.IsNVM(a) {
 		d.persistedLines[a.Line()] = struct{}{}
 	}
 	f := sim.NewFuture(d.k)
-	f.CompleteAt(d.occupy(d.ControllerFor(a)))
+	f.CompleteAt(d.transfer(a, "dram.write"))
 	return f
 }
 

@@ -21,6 +21,8 @@ import (
 	"tako/internal/hier"
 	"tako/internal/mem"
 	"tako/internal/sim"
+	"tako/internal/stats"
+	"tako/internal/trace"
 )
 
 // Config describes the engine microarchitecture (defaults: Table 3 /
@@ -153,6 +155,12 @@ type Engines struct {
 	// Interrupt delivers a user-space interrupt raised by a callback
 	// (§8.4); wired by the system to the victim thread's handler.
 	Interrupt func(tile, morphID int, addr mem.Addr)
+
+	// Latency attribution (resolved in AttachHierarchy, indexed by
+	// CallbackKind): queueing delay from schedule to buffer admission,
+	// engine occupancy while executing, and end-to-end latency.
+	queueHist, execHist, totalHist [3]*stats.Histogram
+	comp                           []string // pre-rendered "engine.N" labels
 }
 
 // New builds engines for `tiles` tiles. The hierarchy is attached later
@@ -177,8 +185,33 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// AttachHierarchy wires the hierarchy the engines load and store through.
-func (e *Engines) AttachHierarchy(h *hier.Hierarchy) { e.h = h }
+// AttachHierarchy wires the hierarchy the engines load and store through,
+// and resolves the callback latency-attribution handles from its metrics
+// registry.
+func (e *Engines) AttachHierarchy(h *hier.Hierarchy) {
+	e.h = h
+	if h == nil {
+		return
+	}
+	for k := hier.CbMiss; k <= hier.CbWriteback; k++ {
+		l := stats.L("kind", k.String())
+		e.queueHist[k] = h.Metrics.Histogram("cb.queue.cycles", l)
+		e.execHist[k] = h.Metrics.Histogram("cb.exec.cycles", l)
+		e.totalHist[k] = h.Metrics.Histogram("cb.total.cycles", l)
+	}
+	e.comp = e.comp[:0]
+	for i := range e.tiles {
+		e.comp = append(e.comp, fmt.Sprintf("engine.%d", i))
+	}
+}
+
+// tracer returns the hierarchy's tracer (nil when tracing is off).
+func (e *Engines) tracer() *trace.Tracer {
+	if e.h == nil {
+		return nil
+	}
+	return e.h.Tracer()
+}
 
 // Config returns the engine configuration.
 func (e *Engines) Config() Config { return e.cfg }
@@ -238,6 +271,7 @@ func (e *Engines) Run(tile int, kind hier.CallbackKind, b hier.Binding, addr mem
 		t.addrChain[addr] = done
 	}
 
+	sched := e.k.Now()
 	e.k.Go(fmt.Sprintf("cb:%s@%d", kind, tile), func(p *sim.Proc) {
 		if waitOn != nil {
 			p.Wait(waitOn)
@@ -248,8 +282,22 @@ func (e *Engines) Run(tile int, kind hier.CallbackKind, b hier.Binding, addr mem
 		accepted.Complete()
 		start := p.Now()
 		e.execute(p, t, tile, spec, b, kind, addr, line)
-		t.stats.BusyCycles += p.Now() - start
+		end := p.Now()
+		t.stats.BusyCycles += end - start
 		t.stats.Callbacks++
+		// Latency attribution: schedule → admission (queue), admission →
+		// completion (exec), and the whole life of the callback.
+		e.queueHist[kind].Observe(start - sched)
+		e.execHist[kind].Observe(end - start)
+		e.totalHist[kind].Observe(end - sched)
+		if tr := e.tracer(); tr != nil && tile < len(e.comp) {
+			comp := e.comp[tile]
+			// Nested slices on the engine track: the cb.<kind> span
+			// encloses its queue and exec phases.
+			tr.EmitSpan(sched, end, comp, "cb."+kind.String(), addr.String())
+			tr.EmitSpan(sched, start, comp, "cb.queue", "")
+			tr.EmitSpan(start, end, comp, "cb.exec", kind.String())
+		}
 		if !e.cfg.Ideal {
 			t.buffer.Release()
 		}

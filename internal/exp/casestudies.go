@@ -147,11 +147,13 @@ func init() {
 				return nil, err
 			}
 			t := stats.NewTable("Fig 17 — HATS breakdown",
-				"variant", "edge-dram", "log-dram", "vertex-dram", "mispred/edge", "mean-load-lat", "edges-logged")
+				"variant", "edge-dram", "log-dram", "vertex-dram", "mispred/edge", "mean-load-lat", "sd-load-lat", "edges-logged")
 			for _, v := range morphs.AllHATSVariants {
 				r := res[v]
+				// Mean alone hides the tail the decoupling helps most; the
+				// stddev column shows the latency spread collapsing.
 				t.AddRowf(string(v), r.DRAMPhase["edge"], r.DRAMPhase["log"], r.DRAMPhase["vertex"],
-					r.Extra["mispredicts.per.edge"], r.Extra["load.mean"], int(r.Extra["edges.logged"]))
+					r.Extra["mispredicts.per.edge"], r.Extra["load.mean"], r.Extra["load.stddev"], int(r.Extra["edges.logged"]))
 			}
 			return t, nil
 		},

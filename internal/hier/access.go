@@ -27,7 +27,12 @@ func (h *Hierarchy) Load(p *sim.Proc, tileID int, a mem.Addr) uint64 {
 	if h.obs != nil {
 		h.obs.LoadCommitted(tileID, a, v)
 	}
-	h.LoadLat.Observe(float64(p.Now() - start))
+	lat := p.Now() - start
+	h.LoadLat.Observe(float64(lat))
+	h.hot.loadLat.Observe(lat)
+	if h.tracer != nil {
+		h.tracer.EmitSpan(start, p.Now(), h.comp.core[tileID], "load", "")
+	}
 	return v
 }
 
@@ -96,7 +101,7 @@ func (h *Hierarchy) StoreLineNT(p *sim.Proc, tileID int, a mem.Addr, line *mem.L
 		h.obs.LineStored(tileID, a, line, true)
 	}
 	h.event("nt.store")
-	h.Counters.Inc("nt.stores")
+	h.hot.ntStores.Inc()
 	p.Sleep(h.Mesh.Transfer(tileID, home, mem.LineSize))
 	unlock()
 }
@@ -168,10 +173,10 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 			continue
 		}
 		top := t.l1
-		topName := "l1"
 		if o.engine {
-			top, topName = t.el1, "el1"
+			top = t.el1
 		}
+		topHits, topMisses := h.hot.top(o.engine)
 		if !o.prefetch {
 			h.Meter.Add(energy.L1Access, 1)
 			p.Sleep(h.cfg.L1Latency)
@@ -187,14 +192,14 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 				}
 				top.Touch(a)
 				top.Stats.Hits++
-				h.Counters.Inc(topName + ".hits")
+				topHits.Inc()
 				if o.write {
 					h.snoopSibling(tileID, la, o.engine)
 				}
 				return ls
 			}
 			top.Stats.Misses++
-			h.Counters.Inc(topName + ".misses")
+			topMisses.Inc()
 			// Clustered coherence (§4.3): the core and engine L1ds
 			// snoop within the tile. A miss in one that hits in the
 			// other migrates the line (with its dirty state) instead
@@ -206,7 +211,7 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 				sib = t.l1
 			}
 			if sib.Contains(la) {
-				h.Counters.Inc("snoop.migrations")
+				h.hot.snoopMigrations.Inc()
 				h.Meter.Add(energy.L1Access, 1)
 				p.Sleep(h.cfg.L1Latency)
 				// Extract only after the latency sleep: a line held in
@@ -244,7 +249,7 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 				p.Sleep(h.cfg.L2DataLat)
 				t.l2.Touch(a)
 				t.l2.Stats.Hits++
-				h.Counters.Inc("l2.hits")
+				h.hot.l2Hits.Inc()
 				ls2 = t.l2.Lookup(a)
 				if ls2 == nil {
 					continue // evicted during the data-array sleep
@@ -271,7 +276,7 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 				continue
 			}
 			t.l2.Stats.Misses++
-			h.Counters.Inc("l2.misses")
+			h.hot.l2Misses.Inc()
 			if !o.engine {
 				h.notifyPrefetcher(p, tileID, a)
 			}
@@ -294,7 +299,11 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 		}
 		fut := sim.NewFuture(h.K)
 		t.pending[la] = fut
+		fetchStart := p.Now()
 		data, meta := h.fetchLine(p, tileID, a, o)
+		if h.tracer != nil {
+			h.tracer.EmitSpan(fetchStart, p.Now(), h.comp.l2[tileID], "l2.miss", la.String())
+		}
 		meta.engine = o.engine
 		// Everything except private phantom lines went through the home
 		// directory, which registered us as a sharer (and owner, for
@@ -422,7 +431,7 @@ func (h *Hierarchy) upgrade(p *sim.Proc, tileID int, la mem.Addr) {
 	}
 	home := h.HomeTile(la)
 	hm := h.tiles[home]
-	h.Counters.Inc("coh.upgrades")
+	h.hot.cohUpgrades.Inc()
 	var maxLat sim.Cycle
 	for s := 0; s < h.cfg.Tiles; s++ {
 		if s == tileID || !e.has(s) {
@@ -433,7 +442,7 @@ func (h *Hierarchy) upgrade(p *sim.Proc, tileID int, la mem.Addr) {
 			e.remove(s)
 			continue
 		}
-		h.Counters.Inc("coh.invalidations")
+		h.hot.cohInvalidations.Inc()
 		if dirty {
 			if ls3 := hm.l3.Lookup(la); ls3 != nil {
 				ls3.Data = data
@@ -472,8 +481,8 @@ func (h *Hierarchy) fetchLine(p *sim.Proc, tileID int, a mem.Addr, o accessOpts)
 				h.PhantomMissFills++
 			}
 			if b.HasMiss && h.runner != nil {
-				h.Counters.Inc("cb.onMiss")
-				h.Trace(fmt.Sprintf("l2.%d", tileID), "cb.onMiss", la.String())
+				h.hot.cb[CbMiss].Inc()
+				h.Trace(h.comp.l2[tileID], "cb.onMiss", la.String())
 				_, done := h.runner.Run(tileID, CbMiss, b, la, &line)
 				p.Wait(done)
 			}
@@ -491,6 +500,16 @@ func (h *Hierarchy) fetchFromHome(p *sim.Proc, tileID int, a mem.Addr, o accessO
 	la := a.Line()
 	home := h.HomeTile(a)
 	hm := h.tiles[home]
+	homeStart := p.Now()
+	spanKind := "l3.hit"
+	if h.tracer != nil {
+		// One span per home-bank service on the bank's track: request
+		// arrival through data response (covers queueing on the home
+		// line, DRAM fills, and SHARED callbacks).
+		defer func() {
+			h.tracer.EmitSpan(homeStart, p.Now(), h.comp.l3[home], spanKind, la.String())
+		}()
+	}
 	p.Sleep(h.Mesh.Transfer(tileID, home, 8))
 	for {
 		f := hm.l3pending[la]
@@ -513,7 +532,8 @@ func (h *Hierarchy) fetchFromHome(p *sim.Proc, tileID int, a mem.Addr, o accessO
 	ls3 := hm.l3.Lookup(a)
 	if ls3 == nil {
 		hm.l3.Stats.Misses++
-		h.Counters.Inc("l3.misses")
+		h.hot.l3Misses.Inc()
+		spanKind = "l3.miss"
 		var line mem.Line
 		// Engine fills and prefetched lines insert at distant
 		// re-reference priority in the shared cache (trrîp, §5.2):
@@ -529,8 +549,8 @@ func (h *Hierarchy) fetchFromHome(p *sim.Proc, tileID int, a mem.Addr, o accessO
 					p.Wait(f)
 				}
 				if b.HasMiss && h.runner != nil {
-					h.Counters.Inc("cb.onMiss")
-					h.Trace(fmt.Sprintf("l3.%d", home), "cb.onMiss", la.String())
+					h.hot.cb[CbMiss].Inc()
+					h.Trace(h.comp.l3[home], "cb.onMiss", la.String())
 					_, done := h.runner.Run(home, CbMiss, b, la, &line)
 					p.Wait(done)
 				}
@@ -565,7 +585,7 @@ func (h *Hierarchy) fetchFromHome(p *sim.Proc, tileID int, a mem.Addr, o accessO
 		}
 	} else {
 		hm.l3.Stats.Hits++
-		h.Counters.Inc("l3.hits")
+		h.hot.l3Hits.Inc()
 		// Lock the line before the data-array sleep so a concurrent
 		// insert cannot victimize it mid-access.
 		ls3.Locked = true
@@ -613,7 +633,7 @@ func (h *Hierarchy) dirAction(p *sim.Proc, tileID int, la mem.Addr, o accessOpts
 			}
 			data, dirty, present := h.invalidatePrivate(s, la)
 			if present {
-				h.Counters.Inc("coh.invalidations")
+				h.hot.cohInvalidations.Inc()
 				if dirty {
 					applyDirty(data, fmt.Sprintf("dirAction-inval-merge(from=%d)", s))
 				}
@@ -633,7 +653,7 @@ func (h *Hierarchy) dirAction(p *sim.Proc, tileID int, la mem.Addr, o accessOpts
 			if dirty {
 				applyDirty(data, fmt.Sprintf("dirAction-downgrade(owner=%d,req=%d)", e.owner, tileID))
 			}
-			h.Counters.Inc("coh.downgrades")
+			h.hot.cohDowngrades.Inc()
 			extra = h.Mesh.Transfer(home, e.owner, 8) + h.Mesh.Transfer(e.owner, home, mem.LineSize)
 			e.owner = -1
 		}

@@ -57,7 +57,7 @@ func (h *Hierarchy) flushPrivate(p *sim.Proc, tileID int, region mem.Region, fut
 				continue
 			}
 			progressed = true
-			h.Counters.Inc("flush.lines")
+			h.hot.flushLines.Inc()
 			h.handleL2Eviction(tileID, ls, futs)
 		}
 		if !progressed {
@@ -100,7 +100,7 @@ func (h *Hierarchy) flushBank(p *sim.Proc, bankID int, region mem.Region, futs *
 				continue
 			}
 			progressed = true
-			h.Counters.Inc("flush.lines")
+			h.hot.flushLines.Inc()
 			h.handleL3Eviction(bankID, ls, futs)
 		}
 		if !progressed {

@@ -38,7 +38,7 @@ func TestSharedFlushRecallsDirtyDataFromOwnerTile(t *testing.T) {
 			t.Fatalf("tile 1 still caches %v after shared flush", a)
 		}
 	}
-	if h.Counters.Get("l3.backinval") == 0 {
+	if h.Metrics.Get("l3.backinval") == 0 {
 		t.Fatal("flush of remotely-owned dirty lines recorded no back-invalidations")
 	}
 	if err := h.CheckInvariants(); err != nil {

@@ -140,6 +140,10 @@ type Config struct {
 	// (CheckInvariants) every that many state-changing events.
 	SelfCheckEvery int
 
+	// SamplePeriod is the cycle period for queue-depth gauge sampling
+	// (DRAM controller backlogs); 0 uses the dram package default.
+	SamplePeriod uint64
+
 	NoC  noc.Config
 	DRAM dram.Config
 
@@ -296,8 +300,13 @@ type Hierarchy struct {
 	freshChecks bool
 	homeLog     map[mem.Addr][]string
 
-	// Counters holds named event counts (hits, misses, callbacks...).
-	Counters stats.Counters
+	// Metrics is the typed registry of named event counts, gauges, and
+	// histograms (hits, misses, callbacks, queue depths...).
+	Metrics *stats.Registry
+	// hot caches pre-resolved Metrics handles for hot-path increments.
+	hot hotMetrics
+	// comp pre-renders per-tile trace component labels.
+	comp componentNames
 	// LoadLat records demand-load latencies from cores (Fig 17).
 	LoadLat stats.Dist
 	// Phantom DRAM-avoidance accounting.
@@ -324,7 +333,12 @@ func New(k *sim.Kernel, cfg Config, meter *energy.Meter, registry Registry, runn
 		dir:        make(map[mem.Addr]*dirEntry),
 		cbInflight: sim.NewWaitGroup(k),
 		homeLog:    make(map[mem.Addr][]string),
+		Metrics:    stats.NewRegistry(),
+		comp:       newComponentNames(cfg.Tiles),
 	}
+	h.hot.resolve(h.Metrics)
+	h.DRAM.AttachMetrics(h.Metrics, cfg.SamplePeriod)
+	h.Mesh.AttachMetrics(h.Metrics)
 	h.freshChecks = cfg.FreshChecks
 	bankShift := log2(cfg.Tiles)
 	for i := 0; i < cfg.Tiles; i++ {
@@ -408,9 +422,12 @@ func (h *Hierarchy) CheckMorphInvariants() error {
 	return nil
 }
 
-// AttachTracer wires a structured event tracer into the hierarchy; nil
-// disables tracing.
-func (h *Hierarchy) AttachTracer(t *trace.Tracer) { h.tracer = t }
+// AttachTracer wires a structured event tracer into the hierarchy (and
+// its DRAM, whose controllers emit transfer spans); nil disables tracing.
+func (h *Hierarchy) AttachTracer(t *trace.Tracer) {
+	h.tracer = t
+	h.DRAM.AttachTracer(t)
+}
 
 // Trace emits a trace event (no-op without an attached tracer).
 func (h *Hierarchy) Trace(component, kind, detail string) {

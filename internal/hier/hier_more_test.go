@@ -43,8 +43,8 @@ func TestStoreLineNTBypassesAndSupersedes(t *testing.T) {
 		}
 	})
 	k.Run()
-	if h.Counters.Get("nt.stores") != 1 {
-		t.Fatalf("nt.stores = %d", h.Counters.Get("nt.stores"))
+	if h.Metrics.Get("nt.stores") != 1 {
+		t.Fatalf("nt.stores = %d", h.Metrics.Get("nt.stores"))
 	}
 }
 

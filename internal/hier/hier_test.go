@@ -99,8 +99,8 @@ func TestLoadMissThenHit(t *testing.T) {
 	if h.DRAM.Reads != 1 {
 		t.Fatalf("DRAM reads = %d, want 1", h.DRAM.Reads)
 	}
-	if h.Counters.Get("l1.hits") != 1 || h.Counters.Get("l3.misses") != 1 {
-		t.Fatalf("counters: %s", h.Counters.String())
+	if h.Metrics.Get("l1.hits") != 1 || h.Metrics.Get("l3.misses") != 1 {
+		t.Fatalf("counters: %s", h.Metrics.String())
 	}
 }
 
@@ -144,7 +144,7 @@ func TestCrossTileCoherence(t *testing.T) {
 	default:
 		t.Fatal("sequence did not finish")
 	}
-	if h.Counters.Get("coh.invalidations") == 0 {
+	if h.Metrics.Get("coh.invalidations") == 0 {
 		t.Fatal("no invalidations recorded")
 	}
 }
@@ -186,7 +186,7 @@ func TestEvictionWritebackPreservesData(t *testing.T) {
 			t.Fatalf("line %d = %d, want %d", i, got, i+1)
 		}
 	}
-	if h.Counters.Get("l3.writebacks") == 0 {
+	if h.Metrics.Get("l3.writebacks") == 0 {
 		t.Fatal("expected L3 writebacks to DRAM")
 	}
 }
@@ -208,8 +208,8 @@ func TestAtomicAddAccumulates(t *testing.T) {
 	if got := h.DebugReadWord(a); got != 4*per {
 		t.Fatalf("sum = %d, want %d", got, 4*per)
 	}
-	if h.Counters.Get("rmo.issued") != 4*per {
-		t.Fatalf("rmo.issued = %d", h.Counters.Get("rmo.issued"))
+	if h.Metrics.Get("rmo.issued") != 4*per {
+		t.Fatalf("rmo.issued = %d", h.Metrics.Get("rmo.issued"))
 	}
 }
 
@@ -426,7 +426,7 @@ func TestPrefetcherIssuesOnSequentialStream(t *testing.T) {
 		}
 	})
 	k.Run()
-	if h.Counters.Get("prefetch.issued") == 0 {
+	if h.Metrics.Get("prefetch.issued") == 0 {
 		t.Fatal("sequential stream trained no prefetches")
 	}
 }

@@ -111,11 +111,11 @@ func (h *Hierarchy) morphEvictPrivate(tileID int, ev cache.LineState, b Binding,
 		h.writebackToShared(tileID, la, ev.Data)
 	}
 	if !has || h.runner == nil {
-		h.Counters.Inc("cb.skipped")
+		h.hot.cbSkipped.Inc()
 		return
 	}
-	h.Counters.Inc("cb." + kind.String())
-	h.Trace(fmt.Sprintf("l2.%d", tileID), "cb."+kind.String(), la.String())
+	h.hot.cb[kind].Inc()
+	h.Trace(h.comp.l2[tileID], "cb."+kind.String(), la.String())
 	lock := sim.NewFuture(h.K)
 	t.pending[la] = lock
 	if futs != nil {
@@ -153,7 +153,7 @@ func (h *Hierarchy) writebackToShared(tileID int, la mem.Addr, data mem.Line) {
 	}
 	h.removeSharerIfNoCopies(tileID, la)
 	h.event("l2.writeback")
-	h.Counters.Inc("l2.writebacks")
+	h.hot.l2Writebacks.Inc()
 	h.Meter.Add(energy.L3Access, 1)
 	t := h.tiles[tileID]
 	h.K.Go("wb-timing", func(p *sim.Proc) {
@@ -206,7 +206,7 @@ func (h *Hierarchy) handleL3Eviction(homeID int, ev cache.LineState, futs *[]*si
 				ev.Dirty = true
 			}
 			if present {
-				h.Counters.Inc("l3.backinval")
+				h.hot.l3Backinval.Inc()
 				h.Mesh.Transfer(homeID, s, 8)
 				bytes := 8
 				if dirty {
@@ -227,7 +227,7 @@ func (h *Hierarchy) handleL3Eviction(homeID int, ev cache.LineState, futs *[]*si
 		panic(fmt.Sprintf("hier: phantom line %v in L3 with no Morph bound", la))
 	}
 	if ev.Dirty {
-		h.Counters.Inc("l3.writebacks")
+		h.hot.l3Writebacks.Inc()
 		h.DRAM.WriteLine(la, &ev.Data) // timing tracked inside DRAM
 	}
 }
@@ -245,11 +245,11 @@ func (h *Hierarchy) morphEvictShared(homeID int, ev cache.LineState, b Binding, 
 		h.DRAM.WriteLine(la, &ev.Data)
 	}
 	if !has || h.runner == nil {
-		h.Counters.Inc("cb.skipped")
+		h.hot.cbSkipped.Inc()
 		return
 	}
-	h.Counters.Inc("cb." + kind.String())
-	h.Trace(fmt.Sprintf("l3.%d", homeID), "cb."+kind.String(), la.String())
+	h.hot.cb[kind].Inc()
+	h.Trace(h.comp.l3[homeID], "cb."+kind.String(), la.String())
 	lock := sim.NewFuture(h.K)
 	if futs != nil {
 		*futs = append(*futs, lock)

@@ -76,7 +76,7 @@ func (h *Hierarchy) issuePrefetch(tileID int, la mem.Addr) {
 		return
 	}
 	t.prefetchInflight++
-	h.Counters.Inc("prefetch.issued")
+	h.hot.prefetchIssued.Inc()
 	h.K.Go("prefetch", func(p *sim.Proc) {
 		h.access(p, tileID, la, accessOpts{prefetch: true})
 		t.prefetchInflight--

@@ -54,7 +54,7 @@ func (h *Hierarchy) AtomicRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, v u
 	t := h.tiles[tileID]
 	t.rmo.Acquire(p) // backpressure: bounded in-flight RMOs
 	t.rmoInflight.Add(1)
-	h.Counters.Inc("rmo.issued")
+	h.hot.rmoIssued.Inc()
 	h.K.Go(fmt.Sprintf("rmo@%d", tileID), func(pp *sim.Proc) {
 		h.runRMO(pp, tileID, a, op, v)
 		t.rmo.Release()
@@ -66,13 +66,13 @@ func (h *Hierarchy) AtomicRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, v u
 // without RMO support to model an ordinary atomic over the shared
 // level).
 func (h *Hierarchy) AtomicAddSync(p *sim.Proc, tileID int, a mem.Addr, delta uint64) {
-	h.Counters.Inc("rmo.issued")
+	h.hot.rmoIssued.Inc()
 	h.runRMO(p, tileID, a, RMOAdd, delta)
 }
 
 // AtomicRMOSync is the blocking form of AtomicRMO.
 func (h *Hierarchy) AtomicRMOSync(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, v uint64) {
-	h.Counters.Inc("rmo.issued")
+	h.hot.rmoIssued.Inc()
 	h.runRMO(p, tileID, a, op, v)
 }
 
@@ -104,7 +104,7 @@ func (h *Hierarchy) runRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, delta 
 	p.Sleep(h.cfg.L3TagLat)
 	ls3 := hm.l3.Lookup(a)
 	if ls3 == nil {
-		h.Counters.Inc("rmo.misses")
+		h.hot.rmoMisses.Inc()
 		var line mem.Line
 		meta := fillMeta{}
 		handled := false
@@ -116,7 +116,7 @@ func (h *Hierarchy) runRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, delta 
 					p.Wait(h.DRAM.ReadLine(la, &line))
 				}
 				if b.HasMiss && h.runner != nil {
-					h.Counters.Inc("cb.onMiss")
+					h.hot.cb[CbMiss].Inc()
 					_, done := h.runner.Run(home, CbMiss, b, la, &line)
 					p.Wait(done)
 				}
@@ -157,7 +157,7 @@ func (h *Hierarchy) runRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, delta 
 			return
 		}
 	} else {
-		h.Counters.Inc("rmo.hits")
+		h.hot.rmoHits.Inc()
 		// Lock before the data-array sleep so a concurrent insert
 		// cannot victimize the line mid-update.
 		ls3.Locked = true
@@ -171,7 +171,7 @@ func (h *Hierarchy) runRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, delta 
 		for s := 0; s < h.cfg.Tiles; s++ {
 			if e.has(s) {
 				if data, dirty, present := h.invalidatePrivate(s, la); present {
-					h.Counters.Inc("coh.invalidations")
+					h.hot.cohInvalidations.Inc()
 					if dirty {
 						ls3.Data = data
 					}

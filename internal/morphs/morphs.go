@@ -44,11 +44,13 @@ func collect(s *system.System, study, variant string, cycles sim.Cycle) Result {
 		"l3.hits", "l3.misses", "cb.onMiss", "cb.onEviction", "cb.onWriteback",
 		"prefetch.issued", "rmo.hits", "rmo.misses",
 	} {
-		if v := s.H.Counters.Get(name); v != 0 {
+		if v := s.H.Metrics.Get(name); v != 0 {
 			extra[name] = float64(v)
 		}
 	}
 	extra["load.mean"] = s.H.LoadLat.Mean()
+	extra["load.stddev"] = s.H.LoadLat.Stddev()
+	system.LabelRun(s, study+"/"+variant, s.Ops())
 	return Result{
 		Study:        study,
 		Variant:      variant,

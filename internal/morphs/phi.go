@@ -487,8 +487,8 @@ func RunPHI(v PHIVariant, prm PHIParams) (Result, error) {
 		return Result{}, fmt.Errorf("%s: %d/%d vertices wrong (first %d: got %d want %d); sum got %d want %d; rmo=%d cbwb=%d inplace=%d binned=%d flush=%d\nvertex line %v history: %v",
 			v, bad, prm.V, first, s.H.DebugReadWord(ranks.Word(uint64(first))), want[first],
 			gotSum, wantSum,
-			s.H.Counters.Get("rmo.issued"), s.H.Counters.Get("cb.onWriteback"),
-			inPlaceTotal, binnedTotal, s.H.Counters.Get("flush.lines"),
+			s.H.Metrics.Get("rmo.issued"), s.H.Metrics.Get("cb.onWriteback"),
+			inPlaceTotal, binnedTotal, s.H.Metrics.Get("flush.lines"),
 			vline, s.H.DebugHomeHistory(vline))
 	}
 	r := collect(s, "phi", string(v), cycles)

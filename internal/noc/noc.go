@@ -11,6 +11,7 @@ import (
 
 	"tako/internal/energy"
 	"tako/internal/sim"
+	"tako/internal/stats"
 )
 
 // Config describes a mesh interconnect.
@@ -41,6 +42,11 @@ type Mesh struct {
 	// flit-hops, for reports.
 	Transfers uint64
 	FlitHops  uint64
+
+	// Registry handles (AttachMetrics; nil-safe when never attached).
+	mTransfers *stats.Counter
+	mFlitHops  *stats.Counter
+	mMsgFlits  *stats.Histogram // flits per message (payload size shape)
 }
 
 // NewMesh builds a mesh; meter may be nil to skip energy accounting.
@@ -52,6 +58,14 @@ func NewMesh(cfg Config, meter *energy.Meter) *Mesh {
 		panic("noc: non-positive flit size")
 	}
 	return &Mesh{cfg: cfg, meter: meter}
+}
+
+// AttachMetrics resolves the mesh's registry handles: noc.transfers and
+// noc.flithops counters plus a noc.msg.flits histogram of message sizes.
+func (m *Mesh) AttachMetrics(r *stats.Registry) {
+	m.mTransfers = r.Counter("noc.transfers")
+	m.mFlitHops = r.Counter("noc.flithops")
+	m.mMsgFlits = r.Histogram("noc.msg.flits")
 }
 
 // Tiles returns the number of tile positions in the mesh.
@@ -107,6 +121,9 @@ func (m *Mesh) Transfer(from, to, bytes int) sim.Cycle {
 	flits := m.Flits(bytes)
 	m.Transfers++
 	m.FlitHops += uint64(hops * flits)
+	m.mTransfers.Inc()
+	m.mFlitHops.Add(uint64(hops * flits))
+	m.mMsgFlits.Observe(uint64(flits))
 	if m.meter != nil && hops > 0 {
 		m.meter.Add(energy.NoCFlitHop, uint64(hops*flits))
 	}

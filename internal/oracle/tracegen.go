@@ -172,7 +172,7 @@ func RunTrace(cfg TraceConfig) (*TraceResult, error) {
 		Ops:    nops,
 		Oracle: o,
 		Fingerprint: fmt.Sprintf("cycles=%d %s\n%s",
-			cycles, o.Fingerprint(), s.H.Counters.String()),
+			cycles, o.Fingerprint(), s.H.Metrics.String()),
 	}
 	return res, nil
 }

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryCounterHandles(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("l2.misses")
+	c.Inc()
+	c.Add(4)
+	if r.Get("l2.misses") != 5 {
+		t.Fatalf("l2.misses = %d", r.Get("l2.misses"))
+	}
+	// Handle resolution is idempotent: same name, same cell.
+	if r.Counter("l2.misses") != c {
+		t.Fatal("re-resolved handle differs")
+	}
+	r.Inc("cold.path")
+	r.Add("cold.path", 2)
+	if r.Get("cold.path") != 3 {
+		t.Fatalf("cold.path = %d", r.Get("cold.path"))
+	}
+	if r.Get("absent") != 0 {
+		t.Fatal("absent counter != 0")
+	}
+}
+
+func TestRegistryLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dram.reads", L("ctrl", 0)).Add(7)
+	r.Counter("dram.reads", L("ctrl", 1)).Add(9)
+	if r.Get("dram.reads{ctrl=0}") != 7 || r.Get("dram.reads{ctrl=1}") != 9 {
+		t.Fatalf("labeled counters: %s", r.String())
+	}
+}
+
+func TestNilRegistryAndHandlesAreSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("g").Set(3)
+	r.Histogram("h").Observe(10)
+	r.Inc("y")
+	if r.Get("x") != 0 || r.String() != "" {
+		t.Fatal("nil registry recorded something")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatal("nil snapshot not empty")
+	}
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	h.Observe(2)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || g.Mean() != 0 ||
+		h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil handles recorded something")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	for _, v := range []int64{3, 9, 1} {
+		g.Set(v)
+	}
+	if g.Value() != 1 || g.Max() != 9 || g.Samples() != 3 {
+		t.Fatalf("gauge = %+v", g)
+	}
+	if math.Abs(g.Mean()-13.0/3) > 1e-9 {
+		t.Fatalf("mean = %v", g.Mean())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 100 || h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("hist = count %d min %d max %d", h.Count(), h.Min(), h.Max())
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	// Log-bucketed quantiles are exact to within a factor of 2.
+	p50 := h.Quantile(0.5)
+	if p50 < 25 || p50 > 100 {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 50 || p99 > 100 {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 100 {
+		t.Fatalf("q0 = %v q1 = %v", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+// Property: quantiles are monotone in q and clamped to [min, max].
+func TestQuickHistogramQuantiles(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var h Histogram
+		for _, v := range raw {
+			h.Observe(uint64(v))
+		}
+		if len(raw) == 0 {
+			return h.Quantile(0.5) == 0
+		}
+		prev := -1.0
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < float64(h.Min()) || v > float64(h.Max()) || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Touch metrics in scrambled order: snapshots sort by key.
+		r.Counter("z.last").Inc()
+		r.Counter("a.first").Add(3)
+		r.Gauge("queue.depth", L("ctrl", 1)).Set(4)
+		r.Gauge("queue.depth", L("ctrl", 0)).Set(2)
+		h := r.Histogram("lat")
+		for i := uint64(0); i < 50; i++ {
+			h.Observe(i * i)
+		}
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().Snapshot().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Snapshot().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("snapshots differ:\n%s\n---\n%s", b1.String(), b2.String())
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(snap.Counters) != 2 || snap.Counters[0].Name != "a.first" {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+	if len(snap.Gauges) != 2 || snap.Gauges[0].Name != "queue.depth{ctrl=0}" {
+		t.Fatalf("gauges = %+v", snap.Gauges)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 50 {
+		t.Fatalf("histograms = %+v", snap.Histograms)
+	}
+}

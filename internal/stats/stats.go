@@ -1,66 +1,25 @@
-// Package stats provides counters, distributions and table formatting for
-// experiment reports. Experiment drivers print rows in the same form as
-// the paper's figures; stats keeps that formatting in one place.
+// Package stats provides the typed metrics registry (registry.go),
+// streaming distributions, and table formatting for experiment reports.
+// Experiment drivers print rows in the same form as the paper's figures;
+// stats keeps that formatting in one place.
 package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
 
-// Counters is an ordered set of named uint64 counters. The zero value is
-// ready to use.
-type Counters struct {
-	m     map[string]uint64
-	order []string
-}
-
-// Add increments counter name by n, creating it if needed.
-func (c *Counters) Add(name string, n uint64) {
-	if c.m == nil {
-		c.m = make(map[string]uint64)
-	}
-	if _, ok := c.m[name]; !ok {
-		c.order = append(c.order, name)
-	}
-	c.m[name] += n
-}
-
-// Inc increments counter name by 1.
-func (c *Counters) Inc(name string) { c.Add(name, 1) }
-
-// Get returns the value of counter name (0 if absent).
-func (c *Counters) Get(name string) uint64 { return c.m[name] }
-
-// Names returns counter names in first-touch order.
-func (c *Counters) Names() []string {
-	out := make([]string, len(c.order))
-	copy(out, c.order)
-	return out
-}
-
-// Reset zeroes all counters but keeps their names.
-func (c *Counters) Reset() {
-	for k := range c.m {
-		c.m[k] = 0
-	}
-}
-
-// String renders the counters one per line, for debugging.
-func (c *Counters) String() string {
-	var b strings.Builder
-	for _, name := range c.order {
-		fmt.Fprintf(&b, "%-32s %12d\n", name, c.m[name])
-	}
-	return b.String()
-}
-
-// Dist is a streaming distribution: count, sum, min, max.
+// Dist is a streaming distribution: count, sum, min, max, plus Welford's
+// online algorithm for numerically stable variance.
 type Dist struct {
 	N        uint64
 	Sum      float64
 	Min, Max float64
+
+	// Welford state: running mean and sum of squared deviations.
+	mean, m2 float64
 }
 
 // Observe adds one sample.
@@ -73,6 +32,9 @@ func (d *Dist) Observe(v float64) {
 	}
 	d.N++
 	d.Sum += v
+	delta := v - d.mean
+	d.mean += delta / float64(d.N)
+	d.m2 += delta * (v - d.mean)
 }
 
 // Mean returns the sample mean (0 for an empty distribution).
@@ -81,6 +43,19 @@ func (d *Dist) Mean() float64 {
 		return 0
 	}
 	return d.Sum / float64(d.N)
+}
+
+// Var returns the population variance (0 for fewer than two samples).
+func (d *Dist) Var() float64 {
+	if d.N < 2 {
+		return 0
+	}
+	return d.m2 / float64(d.N)
+}
+
+// Stddev returns the population standard deviation.
+func (d *Dist) Stddev() float64 {
+	return math.Sqrt(d.Var())
 }
 
 // Table accumulates rows and renders them with aligned columns, matching

@@ -1,43 +1,11 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
 )
-
-func TestCountersAddAndGet(t *testing.T) {
-	var c Counters
-	c.Add("x", 5)
-	c.Inc("x")
-	c.Add("y", 2)
-	if c.Get("x") != 6 || c.Get("y") != 2 || c.Get("z") != 0 {
-		t.Fatalf("x=%d y=%d z=%d", c.Get("x"), c.Get("y"), c.Get("z"))
-	}
-}
-
-func TestCountersOrderIsFirstTouch(t *testing.T) {
-	var c Counters
-	c.Inc("b")
-	c.Inc("a")
-	c.Inc("b")
-	names := c.Names()
-	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
-		t.Fatalf("names = %v", names)
-	}
-}
-
-func TestCountersReset(t *testing.T) {
-	var c Counters
-	c.Add("x", 9)
-	c.Reset()
-	if c.Get("x") != 0 {
-		t.Fatal("reset did not zero")
-	}
-	if len(c.Names()) != 1 {
-		t.Fatal("reset dropped names")
-	}
-}
 
 func TestDist(t *testing.T) {
 	var d Dist
@@ -49,6 +17,51 @@ func TestDist(t *testing.T) {
 	}
 	if d.N != 3 || d.Min != 2 || d.Max != 6 || d.Mean() != 4 {
 		t.Fatalf("dist = %+v mean=%v", d, d.Mean())
+	}
+}
+
+func TestDistWelford(t *testing.T) {
+	var d Dist
+	if d.Var() != 0 || d.Stddev() != 0 {
+		t.Fatal("empty dist variance != 0")
+	}
+	samples := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, v := range samples {
+		d.Observe(v)
+	}
+	// Classic example: mean 5, population variance 4, stddev 2.
+	if d.Mean() != 5 {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	if math.Abs(d.Var()-4) > 1e-9 || math.Abs(d.Stddev()-2) > 1e-9 {
+		t.Fatalf("var = %v stddev = %v", d.Var(), d.Stddev())
+	}
+}
+
+// Property: Welford matches the two-pass variance on random samples.
+func TestQuickDistWelfordMatchesTwoPass(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var d Dist
+		var sum float64
+		for _, v := range raw {
+			d.Observe(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		var m2 float64
+		for _, v := range raw {
+			m2 += (float64(v) - mean) * (float64(v) - mean)
+		}
+		want := m2 / float64(len(raw))
+		diff := math.Abs(d.Var() - want)
+		scale := math.Max(1, want)
+		return diff/scale < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,147 @@
+package system
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"tako/internal/stats"
+	"tako/internal/trace"
+)
+
+// This file is the observability capture point: the CLI tools arm a
+// process-wide capture (StartCapture) before running experiments, every
+// System built afterwards attaches a tracer streaming into the shared
+// exporter, and each run labels itself (LabelRun, called by the study
+// drivers once the study/variant is known) to record its metrics
+// snapshot. StopCapture closes the exporter and hands back the run
+// records for -metrics / -bench reports.
+//
+// When no capture is armed — every test and library use — all of this is
+// a single mutex-guarded nil check per System, and runs record nothing.
+
+// CaptureConfig configures a capture session.
+type CaptureConfig struct {
+	// Sink receives every traced event; nil captures metrics only.
+	Sink trace.MultiSink
+	// TraceKinds filters traced event kinds ("cb.*", "dram.*"; empty =
+	// all). TraceMinSpan drops spans shorter than that many cycles.
+	TraceKinds   []string
+	TraceMinSpan uint64
+	// TraceCapacity sizes each run's in-memory ring (default 4096).
+	TraceCapacity int
+}
+
+// RunRecord is one simulated system's captured run.
+type RunRecord struct {
+	Label        string         `json:"label"`
+	Cycles       uint64         `json:"cycles"`
+	Ops          uint64         `json:"ops"` // core + engine instrs + DRAM accesses
+	KernelEvents uint64         `json:"kernel_events"`
+	Metrics      stats.Snapshot `json:"metrics"`
+}
+
+type capture struct {
+	cfg     CaptureConfig
+	runs    []RunRecord
+	nextPid int
+}
+
+var (
+	captureMu sync.Mutex
+	active    *capture
+)
+
+// StartCapture arms observability capture for all Systems built until
+// StopCapture. Panics if a capture is already active (captures don't
+// nest; the CLI tools arm exactly one).
+func StartCapture(cfg CaptureConfig) {
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	if active != nil {
+		panic("system: capture already active")
+	}
+	active = &capture{cfg: cfg}
+}
+
+// StopCapture disarms the capture, closes the trace sink, and returns
+// every recorded run in execution order.
+func StopCapture() ([]RunRecord, error) {
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	if active == nil {
+		return nil, nil
+	}
+	runs := active.runs
+	var err error
+	if active.cfg.Sink != nil {
+		err = active.cfg.Sink.Close()
+	}
+	active = nil
+	return runs, err
+}
+
+// attachCapture wires a freshly built System into the active capture (if
+// any): a tracer streaming into the shared sink, and a pid for LabelRun.
+func (s *System) attachCapture() {
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	if active == nil {
+		return
+	}
+	s.capPid = active.nextPid
+	active.nextPid++
+	s.captured = true
+	if active.cfg.Sink != nil {
+		capacity := active.cfg.TraceCapacity
+		if capacity == 0 {
+			capacity = 4096
+		}
+		tr := trace.New(capacity)
+		tr.Filter(active.cfg.TraceKinds...)
+		tr.SetMinSpan(active.cfg.TraceMinSpan)
+		tr.AttachSink(active.cfg.Sink.Process(s.capPid))
+		s.H.AttachTracer(tr)
+	}
+}
+
+// LabelRun records a completed run under the given label ("study/variant")
+// — its cycle count, architectural op count, and a deterministic metrics
+// snapshot — and names the run's track group in the trace output. No-op
+// unless a capture armed before the System was built is still active.
+func LabelRun(s *System, label string, ops uint64) {
+	if !s.captured {
+		return
+	}
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	if active == nil {
+		return
+	}
+	if active.cfg.Sink != nil {
+		active.cfg.Sink.SetProcessName(s.capPid, label)
+	}
+	active.runs = append(active.runs, RunRecord{
+		Label:        label,
+		Cycles:       s.K.Now(),
+		Ops:          ops,
+		KernelEvents: s.K.Events(),
+		Metrics:      s.H.Metrics.Snapshot(),
+	})
+}
+
+// MetricsReport is the JSON document written by takosim -metrics and
+// takoreport -bench: every captured run with its metrics snapshot.
+type MetricsReport struct {
+	Runs []RunRecord `json:"runs"`
+}
+
+// WriteMetricsReport serializes the runs as indented, deterministic JSON.
+func WriteMetricsReport(w io.Writer, runs []RunRecord) error {
+	if runs == nil {
+		runs = []RunRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(MetricsReport{Runs: runs})
+}

@@ -1,0 +1,167 @@
+package system
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tako/internal/cpu"
+	"tako/internal/mem"
+	"tako/internal/sim"
+	"tako/internal/trace"
+)
+
+// captureWorkload builds a small system under the active capture, runs a
+// strided store/load loop, and labels the run.
+func captureWorkload(t *testing.T, label string) {
+	t.Helper()
+	s := New(Scaled(2, 16))
+	region := s.Alloc("data", 64*1024)
+	s.Go(0, "w", func(p *sim.Proc, c *cpu.Core) {
+		for i := 0; i < 400; i++ {
+			c.Store(p, region.Base+mem.Addr(i*64), uint64(i))
+		}
+	})
+	s.Go(1, "r", func(p *sim.Proc, c *cpu.Core) {
+		p.Sleep(500)
+		// Two passes over a small window, so the second pass hits in L1.
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < 8; i++ {
+				c.Load(p, region.Base+mem.Addr(i*64))
+			}
+		}
+		for i := 0; i < 400; i++ {
+			c.Load(p, region.Base+mem.Addr(i*64))
+		}
+	})
+	s.Run()
+	LabelRun(s, label, s.Ops())
+}
+
+// TestCaptureEndToEnd runs a workload through the full capture path —
+// typed metrics, run records, and a Chrome trace sink — under whatever
+// detector the test binary was built with (CI runs this with -race; the
+// kernel is single-threaded, so this pins that down rather than assumes
+// it).
+func TestCaptureEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	sink, err := trace.SinkFor("chrome", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	StartCapture(CaptureConfig{Sink: sink})
+	captureWorkload(t, "test/e2e")
+	runs, err := StopCapture()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(runs))
+	}
+	r := runs[0]
+	if r.Label != "test/e2e" {
+		t.Errorf("label = %q", r.Label)
+	}
+	if r.Cycles == 0 || r.Ops == 0 || r.KernelEvents == 0 {
+		t.Errorf("empty run record: %+v", r)
+	}
+	hits := false
+	for _, c := range r.Metrics.Counters {
+		if c.Name == "l1.hits" && c.Value > 0 {
+			hits = true
+		}
+	}
+	if !hits {
+		t.Error("metrics snapshot missing l1.hits")
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	spans, named := 0, false
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			spans++
+		}
+		if e.Ph == "M" && e.Name == "process_name" {
+			named = true
+		}
+	}
+	if spans == 0 {
+		t.Error("trace has no spans")
+	}
+	if !named {
+		t.Error("trace process was never named by LabelRun")
+	}
+}
+
+// TestCaptureByteDeterministic runs the identical workload twice through
+// separate captures and requires byte-identical trace and metrics
+// serializations — the property the golden tests and CI ops gate rely on.
+func TestCaptureByteDeterministic(t *testing.T) {
+	once := func() (traceOut, metricsOut []byte) {
+		var tb, mb bytes.Buffer
+		sink, err := trace.SinkFor("jsonl", &tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		StartCapture(CaptureConfig{Sink: sink, TraceKinds: []string{"l3.*", "dram.*", "cb.*"}})
+		captureWorkload(t, "test/det")
+		runs, err := StopCapture()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteMetricsReport(&mb, runs); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Bytes(), mb.Bytes()
+	}
+	t1, m1 := once()
+	t2, m2 := once()
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace output differs between identical runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics report differs between identical runs")
+	}
+	if len(t1) == 0 {
+		t.Error("empty trace output")
+	}
+}
+
+// TestCaptureInactiveIsInert verifies the no-capture configuration every
+// library user and test runs with: Systems build untraced, LabelRun
+// drops, StopCapture returns nothing.
+func TestCaptureInactiveIsInert(t *testing.T) {
+	s := New(Default(2))
+	if s.captured {
+		t.Fatal("system captured with no active capture")
+	}
+	LabelRun(s, "ignored", 1)
+	runs, err := StopCapture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != nil {
+		t.Fatalf("runs = %v, want nil", runs)
+	}
+}
+
+// TestCaptureRejectsNesting pins the capture-already-active panic.
+func TestCaptureRejectsNesting(t *testing.T) {
+	StartCapture(CaptureConfig{})
+	defer StopCapture()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested StartCapture did not panic")
+		}
+	}()
+	StartCapture(CaptureConfig{})
+}

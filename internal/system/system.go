@@ -57,6 +57,11 @@ type System struct {
 	Cores []*cpu.Core
 
 	threads int
+
+	// Capture state (capture.go): set when a process-wide observability
+	// capture was armed before this System was built.
+	captured bool
+	capPid   int
 }
 
 // New builds and wires a System.
@@ -78,7 +83,16 @@ func New(cfg Config) *System {
 	for i := 0; i < cfg.Tiles; i++ {
 		s.Cores = append(s.Cores, cpu.New(s.H, i, cfg.Core, meter))
 	}
+	s.attachCapture()
 	return s
+}
+
+// Ops returns the run's architectural operation count — committed core
+// instructions, engine instructions, and DRAM line transfers. Unlike
+// cycle counts, this is insensitive to pure timing-model changes, which
+// makes it the quantity CI gates on.
+func (s *System) Ops() uint64 {
+	return s.TotalInstrs() + s.EngineInstrs() + s.H.DRAM.Accesses()
 }
 
 // Alloc reserves a real region and returns it.

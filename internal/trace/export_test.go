@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite exporter golden files")
+
+// emitFixture drives a fixed synthetic event sequence through a tracer
+// attached to one process view of the given exporter: two runs, nested
+// callback spans, instants, details needing JSON escaping.
+func emitFixture(ms MultiSink) {
+	ms.SetProcessName(0, "phi/base")
+	ms.SetProcessName(1, "phi/tako")
+	for pid := 0; pid < 2; pid++ {
+		tr := New(64)
+		tr.AttachSink(ms.Process(pid))
+		tr.Emit(5, "core.0", "load", `addr="0x40"`)
+		tr.Emit(12, "l2.0", "miss", "0x40")
+		// Nested callback life on the engine track: total span
+		// enclosing queue + exec sub-spans (emitted at completion, so
+		// starts are non-monotonic).
+		tr.EmitSpan(12, 20, "engine.0", "cb.queue", "")
+		tr.EmitSpan(20, 47, "engine.0", "cb.exec", "onMiss")
+		tr.EmitSpan(12, 47, "engine.0", "cb.onMiss", "0x40")
+		tr.EmitSpan(21, 44, "dram.1", "dram.read", "0x40")
+		tr.Emit(47, "l2.0", "fill", "0x40")
+	}
+	ms.Close()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	emitFixture(NewJSONL(&buf))
+	checkGolden(t, "fixture.jsonl", buf.Bytes())
+
+	// Every line is a standalone JSON object.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2+2*7 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, ln := range lines {
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+	}
+}
+
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	emitFixture(NewChrome(&buf))
+	checkGolden(t, "fixture.chrome.json", buf.Bytes())
+
+	// The whole document must parse as Chrome trace-event JSON.
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var spans, instants, meta int
+	threadNames := map[[2]int]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		case "M":
+			meta++
+			if e.Name == "thread_name" {
+				threadNames[[2]int{e.Pid, e.Tid}] = true
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	// 4 spans + 3 instants per run.
+	if spans != 8 || instants != 6 {
+		t.Fatalf("spans = %d instants = %d", spans, instants)
+	}
+	// 4 components per run, each with thread_name metadata.
+	if len(threadNames) != 8 {
+		t.Fatalf("thread_name tracks = %d", len(threadNames))
+	}
+}
+
+// Satellite (c): byte determinism — two identical runs through each
+// exporter produce identical bytes.
+func TestExportersByteDeterministic(t *testing.T) {
+	for _, format := range []string{"jsonl", "chrome"} {
+		var b1, b2 bytes.Buffer
+		s1, err := SinkFor(format, &b1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, _ := SinkFor(format, &b2)
+		emitFixture(s1)
+		emitFixture(s2)
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("%s export not deterministic", format)
+		}
+	}
+}
+
+func TestChromeEmptyTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChrome(&buf)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty chrome trace invalid: %v\n%s", err, buf.String())
+	}
+}
+
+func TestSinkForUnknownFormat(t *testing.T) {
+	if _, err := SinkFor("csv", &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestMinSpanThreshold(t *testing.T) {
+	tr := New(16)
+	tr.SetMinSpan(10)
+	tr.EmitSpan(0, 5, "l1.0", "hit", "")    // dropped: 5 < 10
+	tr.EmitSpan(0, 50, "dram.0", "read", "") // kept
+	tr.Emit(3, "l2.0", "miss", "")           // instants unaffected
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].Kind != "read" || evs[1].Kind != "miss" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestSortEvents(t *testing.T) {
+	evs := []Event{
+		{Cycle: 9, Component: "b", Kind: "k"},
+		{Cycle: 3, Component: "b", Kind: "z"},
+		{Cycle: 3, Component: "a", Kind: "k"},
+		{Cycle: 3, Component: "b", Kind: "a"},
+	}
+	SortEvents(evs)
+	if evs[0].Component != "a" || evs[1].Kind != "a" || evs[3].Cycle != 9 {
+		t.Fatalf("sorted = %+v", evs)
+	}
+}
+
+// Satellite (a): after the ring wraps, Dump replays oldest-first and the
+// header reports total vs retained.
+func TestDumpAfterWrapReportsDrops(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emitf(uint64(i), "c", "k", "n=%d", i)
+	}
+	dump := tr.Dump()
+	if !strings.Contains(dump, "# trace: 10 events total, 4 retained (6 oldest dropped)") {
+		t.Fatalf("header wrong:\n%s", dump)
+	}
+	// Oldest-first replay: n=6 appears before n=9, and dropped events
+	// (n=0..5) are absent.
+	i6, i9 := strings.Index(dump, "n=6"), strings.Index(dump, "n=9")
+	if i6 < 0 || i9 < 0 || i6 > i9 {
+		t.Fatalf("replay order wrong:\n%s", dump)
+	}
+	if strings.Contains(dump, "n=5") {
+		t.Fatalf("dropped event present:\n%s", dump)
+	}
+	// Without wrap, no drop note.
+	tr2 := New(8)
+	tr2.Emit(1, "c", "k", "")
+	if d := tr2.Dump(); !strings.Contains(d, "# trace: 1 events total, 1 retained\n") {
+		t.Fatalf("unwrapped header wrong:\n%s", d)
+	}
+}
+
+func TestTracerForwardsToSink(t *testing.T) {
+	var buf bytes.Buffer
+	js := NewJSONL(&buf)
+	tr := New(2) // tiny ring: sink must still see everything
+	tr.AttachSink(js.Process(0))
+	for i := 0; i < 5; i++ {
+		tr.Emit(uint64(i), "c", "k", "")
+	}
+	js.Close()
+	if n := strings.Count(buf.String(), "\n"); n != 5 {
+		t.Fatalf("sink saw %d events, want 5", n)
+	}
+	if tr.Retained() != 2 {
+		t.Fatalf("retained = %d", tr.Retained())
+	}
+}

@@ -1,8 +1,11 @@
 // Package trace is the simulator's structured event tracer: components
-// emit (cycle, component, event, detail) records into a bounded ring
-// buffer that can be filtered and rendered. Tracing is optional and
-// zero-cost when disabled (a nil *Tracer ignores all emits), so it can
-// stay wired into hot paths.
+// emit (cycle, component, event, detail) records — points and *spans*
+// (records with a duration, e.g. a callback's life from schedule to
+// completion) — into a bounded ring buffer that can be filtered and
+// rendered, and optionally stream into a structured Sink (export.go:
+// JSONL, Chrome trace-event/Perfetto). Tracing is optional and zero-cost
+// when disabled (a nil *Tracer ignores all emits), so it can stay wired
+// into hot paths.
 //
 // Typical use:
 //
@@ -11,6 +14,13 @@
 //	h.AttachTracer(tr)
 //	... run ...
 //	fmt.Print(tr.Dump())
+//
+// Or streaming to Perfetto:
+//
+//	chrome := trace.NewChrome(f)
+//	tr.AttachSink(chrome.Process(0))
+//	... run ...
+//	chrome.Close()
 package trace
 
 import (
@@ -18,27 +28,43 @@ import (
 	"strings"
 )
 
-// Event is one trace record.
+// Event is one trace record. Dur == 0 is an instant event; Dur > 0 is a
+// span starting at Cycle and covering [Cycle, Cycle+Dur).
 type Event struct {
 	Cycle     uint64
-	Component string // e.g. "l2.3", "engine.0", "dram"
+	Dur       uint64 // span duration in cycles (0 = instant)
+	Component string // e.g. "l2.3", "engine.0", "dram.1"
 	Kind      string // e.g. "miss", "cb.onMiss", "evict"
 	Detail    string
 }
 
 func (e Event) String() string {
+	if e.Dur > 0 {
+		return fmt.Sprintf("%10d  %-10s %-16s [%d cyc] %s", e.Cycle, e.Component, e.Kind, e.Dur, e.Detail)
+	}
 	return fmt.Sprintf("%10d  %-10s %-16s %s", e.Cycle, e.Component, e.Kind, e.Detail)
 }
 
-// Tracer collects events into a ring buffer. A nil Tracer is valid and
-// drops everything, so callers never need nil checks beyond the one in
-// Emit.
+// Sink receives every recorded event as it is emitted (export.go).
+// Implementations must tolerate events arriving with non-monotonic start
+// cycles: spans are emitted at completion time, so a long span can start
+// before an already-emitted short one.
+type Sink interface {
+	Emit(e Event)
+	Close() error
+}
+
+// Tracer collects events into a ring buffer and forwards them to an
+// optional sink. A nil Tracer is valid and drops everything, so callers
+// never need nil checks beyond the one in Emit.
 type Tracer struct {
 	ring    []Event
 	next    int
 	wrapped bool
 	total   uint64
 	filters []string
+	sink    Sink
+	minSpan uint64
 }
 
 // New returns a tracer holding the most recent `capacity` events.
@@ -59,6 +85,26 @@ func (t *Tracer) Filter(patterns ...string) {
 	t.filters = append(t.filters, patterns...)
 }
 
+// AttachSink streams all recorded events (post-filter) into s, in
+// addition to the ring buffer. Closing the sink is the caller's job.
+func (t *Tracer) AttachSink(s Sink) {
+	if t == nil {
+		return
+	}
+	t.sink = s
+}
+
+// SetMinSpan drops spans shorter than n cycles (instant events are
+// unaffected). Demand accesses that hit close to the core emit very
+// short spans in enormous numbers; a threshold around the L2 latency
+// keeps traces focused on the shared level, engines, and DRAM.
+func (t *Tracer) SetMinSpan(n uint64) {
+	if t == nil {
+		return
+	}
+	t.minSpan = n
+}
+
 func (t *Tracer) matches(kind string) bool {
 	if len(t.filters) == 0 {
 		return true
@@ -75,17 +121,40 @@ func (t *Tracer) matches(kind string) bool {
 	return false
 }
 
-// Emit records an event. Safe on a nil Tracer.
+// Emit records an instant event. Safe on a nil Tracer.
 func (t *Tracer) Emit(cycle uint64, component, kind, detail string) {
 	if t == nil || !t.matches(kind) {
 		return
 	}
+	t.record(Event{Cycle: cycle, Component: component, Kind: kind, Detail: detail})
+}
+
+// EmitSpan records a span covering [start, end). Spans shorter than the
+// SetMinSpan threshold are dropped. Safe on a nil Tracer.
+func (t *Tracer) EmitSpan(start, end uint64, component, kind, detail string) {
+	if t == nil || !t.matches(kind) {
+		return
+	}
+	dur := uint64(0)
+	if end > start {
+		dur = end - start
+	}
+	if dur < t.minSpan {
+		return
+	}
+	t.record(Event{Cycle: start, Dur: dur, Component: component, Kind: kind, Detail: detail})
+}
+
+func (t *Tracer) record(e Event) {
 	t.total++
-	t.ring[t.next] = Event{Cycle: cycle, Component: component, Kind: kind, Detail: detail}
+	t.ring[t.next] = e
 	t.next++
 	if t.next == len(t.ring) {
 		t.next = 0
 		t.wrapped = true
+	}
+	if t.sink != nil {
+		t.sink.Emit(e)
 	}
 }
 
@@ -98,7 +167,8 @@ func (t *Tracer) Emitf(cycle uint64, component, kind, format string, args ...int
 	t.Emit(cycle, component, kind, fmt.Sprintf(format, args...))
 }
 
-// Events returns the recorded events in chronological order.
+// Events returns the buffered events in true emit order: after the ring
+// wraps, the oldest retained event comes first.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
@@ -123,9 +193,28 @@ func (t *Tracer) Total() uint64 {
 	return t.total
 }
 
-// Dump renders the buffered events, one per line.
+// Retained returns how many events the ring currently holds.
+func (t *Tracer) Retained() int {
+	if t == nil {
+		return 0
+	}
+	if t.wrapped {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// Dump renders the buffered events one per line, oldest first, headed by
+// a summary of how many events were recorded versus retained — after the
+// ring wraps, the dropped count says how much history rotated out.
 func (t *Tracer) Dump() string {
 	var b strings.Builder
+	total, retained := t.Total(), t.Retained()
+	fmt.Fprintf(&b, "# trace: %d events total, %d retained", total, retained)
+	if dropped := total - uint64(retained); dropped > 0 {
+		fmt.Fprintf(&b, " (%d oldest dropped)", dropped)
+	}
+	b.WriteByte('\n')
 	for _, e := range t.Events() {
 		b.WriteString(e.String())
 		b.WriteByte('\n')
