@@ -3,16 +3,30 @@
 //
 // Usage:
 //
-//	takoreport [-full] [-out report.txt] [-skip fig25,fig22]
+//	takoreport [-full] [-j N] [-out report.txt] [-skip fig25,fig22]
 //	takoreport -bench bench.json [-golden ops.golden.json]
 //
+// Every simulated system is an independent deterministic kernel, so the
+// experiments' variant fan-outs and sensitivity sweeps run -j
+// simulations in parallel (default GOMAXPROCS); results always assemble
+// in variant order, so the report and all gated counts are byte-identical
+// at any -j. Runs are also memoized for the duration of the process:
+// paired figures drawn from the same simulations (fig6/fig7, fig13/fig14,
+// fig16/fig17, fig19/fig20) and sweeps that revisit an already-simulated
+// configuration share one run instead of recomputing. Per-experiment
+// wall-clock timing is printed to stdout but kept out of the -out report,
+// so the written report is reproducible byte-for-byte.
+//
 // -bench captures every run's typed metrics (per-experiment cycle and
-// architectural-op counts, latency histograms) into a JSON report. With
-// -golden, each experiment's op count is compared against the golden
-// file and any drift fails the command — ops (committed core + engine
-// instructions + DRAM transfers) are deterministic and insensitive to
-// timing-model tuning, so CI gates on them while cycle counts are only
-// reported. -update-golden rewrites the golden from the current run.
+// architectural-op counts, latency histograms) into a JSON report,
+// along with each experiment's wall-clock, the summed execution time of
+// the simulations behind it, and the resulting parallel+cache speedup.
+// With -golden, each experiment's op count is compared against the
+// golden file and any drift fails the command — ops (committed core +
+// engine instructions + DRAM transfers) are deterministic and
+// insensitive to timing-model tuning, so CI gates on them while cycle
+// counts are only reported. -update-golden rewrites the golden from the
+// current run.
 package main
 
 import (
@@ -24,26 +38,44 @@ import (
 	"time"
 
 	"tako/internal/exp"
+	"tako/internal/morphs"
+	"tako/internal/sched"
 	"tako/internal/system"
 )
 
 // benchEntry aggregates one experiment's captured runs.
 type benchEntry struct {
-	ID     string             `json:"id"`
-	Ops    uint64             `json:"ops"`    // summed over runs; gated against the golden
-	Cycles uint64             `json:"cycles"` // summed over runs; reported, never gated
-	Runs   []system.RunRecord `json:"runs"`
+	ID     string `json:"id"`
+	Ops    uint64 `json:"ops"`    // summed over runs; gated against the golden
+	Cycles uint64 `json:"cycles"` // summed over runs; reported, never gated
+	// WallMS is the experiment's wall-clock; ExecMS sums the wall-clock
+	// of the simulations it executed (cache-served runs contribute 0),
+	// i.e. the serial cost of the same work. Speedup = ExecMS / WallMS:
+	// the combined effect of the parallel scheduler and the run cache
+	// for this experiment at this -j.
+	WallMS     float64            `json:"wall_ms"`
+	ExecMS     float64            `json:"exec_ms"`
+	Speedup    float64            `json:"speedup_vs_serial"`
+	CachedRuns int                `json:"cached_runs"`
+	Runs       []system.RunRecord `json:"runs"`
 }
 
 // benchReport is the document written by -bench.
 type benchReport struct {
-	Scale       string       `json:"scale"`
+	Scale string `json:"scale"`
+	Jobs  int    `json:"jobs"`
+	// Aggregate perf trajectory: total report wall-clock vs the summed
+	// serial cost of every simulation executed or reused.
+	WallMS      float64      `json:"wall_ms"`
+	ExecMS      float64      `json:"exec_ms"`
+	Speedup     float64      `json:"speedup_vs_serial"`
 	Experiments []benchEntry `json:"experiments"`
 }
 
 func main() {
 	var (
 		full  = flag.Bool("full", false, "run at full (slow) scale")
+		jobs  = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
 		out   = flag.String("out", "", "also write the report to this file")
 		skip  = flag.String("skip", "", "comma-separated experiment ids to skip")
 		bench = flag.String("bench", "", "write per-experiment metrics (JSON) to this file")
@@ -53,6 +85,12 @@ func main() {
 	)
 	flag.Parse()
 
+	sched.SetWorkers(*jobs)
+	// The run cache is process-global and never evicts, so -skip only
+	// changes which figure of a pair simulates first — the survivors
+	// still share runs rather than recomputing.
+	morphs.SetRunCache(true)
+
 	skipped := map[string]bool{}
 	for _, id := range strings.Split(*skip, ",") {
 		if id != "" {
@@ -60,6 +98,9 @@ func main() {
 		}
 	}
 
+	// emit goes to stdout and the -out report; status lines (timing,
+	// progress) go to stdout only, keeping the written report
+	// byte-reproducible across -j values and host speeds.
 	var report strings.Builder
 	emit := func(format string, args ...interface{}) {
 		s := fmt.Sprintf(format, args...)
@@ -73,8 +114,11 @@ func main() {
 	}
 	emit("täkō reproduction report — every table and figure of the evaluation\n")
 	emit("scale: %s\n\n", scale)
+	fmt.Printf("parallelism: %d workers, memoized run cache\n\n", sched.Workers())
 	var entries []benchEntry
+	var totalWall, totalExec float64
 	failures := 0
+	reportStart := time.Now()
 	for _, e := range exp.All() {
 		if skipped[e.ID] {
 			emit("== %s: SKIPPED ==\n\n", e.ID)
@@ -86,27 +130,42 @@ func main() {
 		}
 		start := time.Now()
 		tbl, err := e.Run(!*full)
+		wallMS := float64(time.Since(start)) / float64(time.Millisecond)
 		if *bench != "" {
-			runs, _ := system.StopCapture()
-			entry := benchEntry{ID: e.ID, Runs: runs}
+			captured, _ := system.StopCapture()
+			entry := benchEntry{
+				ID:         e.ID,
+				WallMS:     wallMS,
+				ExecMS:     captured.ExecMS,
+				CachedRuns: captured.Cached,
+				Runs:       captured.Runs,
+			}
 			if entry.Runs == nil {
 				entry.Runs = []system.RunRecord{}
 			}
-			for _, r := range runs {
+			if entry.WallMS > 0 {
+				entry.Speedup = entry.ExecMS / entry.WallMS
+			}
+			for _, r := range entry.Runs {
 				entry.Ops += r.Ops
 				entry.Cycles += r.Cycles
 			}
 			if err == nil {
 				entries = append(entries, entry)
+				totalExec += captured.ExecMS
 			}
 		}
+		totalWall += wallMS
 		if err != nil {
 			emit("ERROR: %v\n\n", err)
 			failures++
 			continue
 		}
-		emit("%s(%s)\n\n", tbl.String(), time.Since(start).Round(time.Millisecond))
+		emit("%s", tbl.String())
+		emit("\n")
+		fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+	fmt.Printf("report total: %s wall clock\n", time.Since(reportStart).Round(time.Millisecond))
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "takoreport: write %s: %v\n", *out, err)
@@ -115,11 +174,22 @@ func main() {
 		fmt.Printf("report written to %s\n", *out)
 	}
 	if *bench != "" {
-		if err := writeBench(*bench, scale, entries); err != nil {
+		doc := benchReport{
+			Scale:       scale,
+			Jobs:        sched.Workers(),
+			WallMS:      totalWall,
+			ExecMS:      totalExec,
+			Experiments: entries,
+		}
+		if doc.WallMS > 0 {
+			doc.Speedup = doc.ExecMS / doc.WallMS
+		}
+		if err := writeBench(*bench, doc); err != nil {
 			fmt.Fprintf(os.Stderr, "takoreport: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("bench metrics written to %s (%d experiments)\n", *bench, len(entries))
+		fmt.Printf("bench metrics written to %s (%d experiments, %.1fx vs serial)\n",
+			*bench, len(entries), doc.Speedup)
 		if *golden != "" {
 			if err := checkGolden(*golden, scale, entries, *updateGolden); err != nil {
 				fmt.Fprintf(os.Stderr, "takoreport: %v\n", err)
@@ -133,9 +203,9 @@ func main() {
 	}
 }
 
-func writeBench(path, scale string, entries []benchEntry) error {
-	if entries == nil {
-		entries = []benchEntry{}
+func writeBench(path string, doc benchReport) error {
+	if doc.Experiments == nil {
+		doc.Experiments = []benchEntry{}
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -143,7 +213,7 @@ func writeBench(path, scale string, entries []benchEntry) error {
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(benchReport{Scale: scale, Experiments: entries}); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		f.Close()
 		return err
 	}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	takosim -list
-//	takosim -exp fig13 [-full] [-verify]
+//	takosim -exp fig13 [-full] [-j N] [-verify]
 //	takosim -exp fig13 -metrics out.json
 //	takosim -exp fig13 -trace out.trace.json -trace-format chrome
 //
@@ -15,6 +15,13 @@
 // track per component, nested callback spans), "jsonl" one JSON object
 // per line. -trace-kinds filters events, -trace-min-dur drops spans
 // shorter than the given cycle count to keep large traces focused.
+//
+// -j fans the experiment's independent simulated systems across worker
+// goroutines (each simulation stays single-threaded and deterministic;
+// tables and metrics are byte-identical at any -j). Trace streams
+// remain well-formed — sinks serialize writers — but spans from
+// concurrently-running systems interleave in file order; sort by the
+// process id (one per simulated system) when reading jsonl directly.
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 
 	"tako/internal/exp"
 	"tako/internal/hier"
+	"tako/internal/morphs"
+	"tako/internal/sched"
 	"tako/internal/system"
 	"tako/internal/trace"
 )
@@ -35,6 +44,7 @@ func main() {
 		list   = flag.Bool("list", false, "list available experiments")
 		id     = flag.String("exp", "", "experiment id to run (e.g. fig6, table2)")
 		full   = flag.Bool("full", false, "run at full (slow) scale instead of quick scale")
+		jobs   = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS; output is identical at any -j)")
 		verify = flag.Bool("verify", false, "run with coherence-freshness assertions and the periodic hierarchy-wide invariant checker (slower; panics on the first violation)")
 
 		metricsOut  = flag.String("metrics", "", "write per-run metrics snapshots (JSON) to this file")
@@ -44,6 +54,9 @@ func main() {
 		traceMinDur = flag.Uint64("trace-min-dur", 0, "drop spans shorter than this many cycles (instants are kept)")
 	)
 	flag.Parse()
+
+	sched.SetWorkers(*jobs)
+	morphs.SetRunCache(true)
 
 	if *verify {
 		hier.SetVerifyDefaults(true, 128)
@@ -104,7 +117,7 @@ func main() {
 	fmt.Printf("\n(%s wall clock)\n", time.Since(start).Round(time.Millisecond))
 
 	if capturing {
-		runs, err := system.StopCapture()
+		captured, err := system.StopCapture()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "takosim: closing trace: %v\n", err)
 			os.Exit(1)
@@ -122,14 +135,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "takosim: %v\n", err)
 				os.Exit(1)
 			}
-			if err := system.WriteMetricsReport(f, runs); err == nil {
+			if err := system.WriteMetricsReport(f, captured.Runs); err == nil {
 				err = f.Close()
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "takosim: writing metrics: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("metrics written to %s (%d runs)\n", *metricsOut, len(runs))
+			fmt.Printf("metrics written to %s (%d runs)\n", *metricsOut, len(captured.Runs))
 		}
 	}
 }

@@ -232,6 +232,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
+			morphs.SubmitResults(base.Result, tako.Result)
 			t := stats.NewTable("Fig 21 — prime+probe on AES tables",
 				"variant", "detected", "detection-cycle", "hot-lines-identified", "false-positives", "interrupts")
 			t.AddRowf(string(morphs.SCBaseline), base.Detected, base.DetectionCycle,

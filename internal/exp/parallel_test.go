@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tako/internal/morphs"
+	"tako/internal/sched"
+	"tako/internal/system"
+)
+
+// captureExp runs one experiment at quick scale under a metrics capture
+// and returns its rendered table plus the captured run records.
+func captureExp(t *testing.T, id string) (string, []system.RunRecord) {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	system.StartCapture(system.CaptureConfig{})
+	tbl, err := e.Run(true)
+	res, cerr := system.StopCapture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	return tbl.String(), res.Runs
+}
+
+// TestParallelDriversMatchSequential pins the scheduler's determinism
+// contract: a driver fanning its variants across 4 workers produces a
+// byte-identical table and byte-identical capture log to the same driver
+// at 1 worker (which executes inline, exactly like the pre-scheduler
+// sequential loop). CI runs this under -race, which also makes it the
+// data-race probe for concurrent simulations.
+func TestParallelDriversMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	prevCache := morphs.SetRunCache(false) // fresh simulations on both sides
+	defer morphs.SetRunCache(prevCache)
+	defer sched.SetWorkers(0)
+
+	sched.SetWorkers(1)
+	seqTbl, seqRuns := captureExp(t, "fig6")
+	sched.SetWorkers(4)
+	parTbl, parRuns := captureExp(t, "fig6")
+
+	if seqTbl != parTbl {
+		t.Errorf("table differs between 1 and 4 workers\n--- j=1 ---\n%s--- j=4 ---\n%s", seqTbl, parTbl)
+	}
+	if len(seqRuns) != len(morphs.AllDecompVariants) {
+		t.Fatalf("captured %d runs, want %d", len(seqRuns), len(morphs.AllDecompVariants))
+	}
+	seq, err := json.Marshal(seqRuns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := json.Marshal(parRuns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq, par) {
+		t.Error("captured run records (labels, ops, cycles, metrics) differ between 1 and 4 workers")
+	}
+}
+
+// TestRunCacheSharesPairedFigures pins the memo cache's purpose: fig6 and
+// fig7 render different tables from the same decompression simulations,
+// so with the cache armed the pair costs one set of simulations, and the
+// replayed records carry identical op counts (what the CI ops golden
+// gates on).
+func TestRunCacheSharesPairedFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	prev := morphs.SetRunCache(true)
+	morphs.ResetRunCache()
+	defer func() {
+		morphs.SetRunCache(prev)
+		morphs.ResetRunCache()
+	}()
+
+	start := morphs.SimsExecuted()
+	_, runs6 := captureExp(t, "fig6")
+	afterFig6 := morphs.SimsExecuted()
+	if got, want := int(afterFig6-start), len(morphs.AllDecompVariants); got != want {
+		t.Fatalf("fig6 executed %d simulations, want %d", got, want)
+	}
+	_, runs7 := captureExp(t, "fig7")
+	if extra := morphs.SimsExecuted() - afterFig6; extra != 0 {
+		t.Errorf("fig7 re-simulated %d runs the cache should have served", extra)
+	}
+	if len(runs7) != len(runs6) {
+		t.Fatalf("fig7 captured %d runs, fig6 %d", len(runs7), len(runs6))
+	}
+	for i := range runs6 {
+		if runs7[i].Label != runs6[i].Label || runs7[i].Ops != runs6[i].Ops {
+			t.Errorf("run %d: fig7 (%s, %d ops) != fig6 (%s, %d ops)",
+				i, runs7[i].Label, runs7[i].Ops, runs6[i].Label, runs6[i].Ops)
+		}
+		if !runs7[i].Cached {
+			t.Errorf("fig7 run %s not marked cached", runs7[i].Label)
+		}
+	}
+}
+
+// TestSkipDoesNotEvictSharedRuns pins the takoreport -skip interaction:
+// skipping one figure of a pair (here fig6, so fig7 runs first and alone)
+// must still simulate the shared runs exactly once and leave them cached
+// for any later figure — the cache never evicts, it only fills.
+func TestSkipDoesNotEvictSharedRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	prev := morphs.SetRunCache(true)
+	morphs.ResetRunCache()
+	defer func() {
+		morphs.SetRunCache(prev)
+		morphs.ResetRunCache()
+	}()
+
+	start := morphs.SimsExecuted()
+	_, runs7 := captureExp(t, "fig7")
+	executed := morphs.SimsExecuted() - start
+	if got, want := int(executed), len(morphs.AllDecompVariants); got != want {
+		t.Fatalf("fig7 alone executed %d simulations, want %d", got, want)
+	}
+	for _, r := range runs7 {
+		if r.Cached {
+			t.Errorf("fig7 run %s marked cached on first execution", r.Label)
+		}
+	}
+	if _, runs6 := captureExp(t, "fig6"); len(runs6) != len(runs7) {
+		t.Fatalf("fig6 captured %d runs, want %d", len(runs6), len(runs7))
+	}
+	if total := morphs.SimsExecuted() - start; total != executed {
+		t.Errorf("fig6 after skipped-then-run fig7 re-simulated %d runs", total-executed)
+	}
+}

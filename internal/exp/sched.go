@@ -1,0 +1,19 @@
+package exp
+
+import (
+	"tako/internal/morphs"
+	"tako/internal/sched"
+)
+
+// runResults fans n independent simulations across the scheduler's
+// workers, then submits their capture records in index order — exactly
+// the records a sequential loop would have produced, in the same order,
+// so reports and bench captures are byte-identical at any worker count.
+func runResults(n int, fn func(i int) (morphs.Result, error)) ([]morphs.Result, error) {
+	results, err := sched.MapResults(n, fn)
+	if err != nil {
+		return nil, err
+	}
+	morphs.SubmitResults(results...)
+	return results, nil
+}

@@ -18,10 +18,6 @@ func init() {
 		Paper: "dataflow vastly outperforms an in-order core; performance plateaus by 5x5, within 1.8% of ideal",
 		Run: func(quick bool) (*stats.Table, error) {
 			prm := hatsParams(quick)
-			base, err := morphs.RunHATS(morphs.HATSVertexOrdered, prm)
-			if err != nil {
-				return nil, err
-			}
 			t := stats.NewTable("Fig 22 — fabric size (HATS)", "engine", "cycles", "speedup-vs-baseline")
 			type cfgRow struct {
 				name string
@@ -38,13 +34,21 @@ func init() {
 			inorder.InOrderCore = true
 			rows = append(rows, cfgRow{"in-order core", inorder})
 			rows = append(rows, cfgRow{"ideal", engine.IdealConfig()})
-			for _, row := range rows {
-				p := prm
-				p.Engine = row.cfg
-				r, err := morphs.RunHATS(morphs.HATSTako, p)
-				if err != nil {
-					return nil, err
+			// Task 0 is the baseline; tasks 1..N the engine configs.
+			results, err := runResults(len(rows)+1, func(i int) (morphs.Result, error) {
+				if i == 0 {
+					return morphs.RunHATS(morphs.HATSVertexOrdered, prm)
 				}
+				p := prm
+				p.Engine = rows[i-1].cfg
+				return morphs.RunHATS(morphs.HATSTako, p)
+			})
+			if err != nil {
+				return nil, err
+			}
+			base := results[0]
+			for i, row := range rows {
+				r := results[i+1]
 				t.AddRowf(row.name, r.Cycles, r.Speedup(base))
 			}
 			return t, nil
@@ -57,20 +61,23 @@ func init() {
 		Paper: "even at 8-cycle PEs speedup only drops from 43% to ~30%: MLP matters, not arithmetic throughput",
 		Run: func(quick bool) (*stats.Table, error) {
 			prm := hatsParams(quick)
-			base, err := morphs.RunHATS(morphs.HATSVertexOrdered, prm)
+			t := stats.NewTable("Fig 23 — PE latency (HATS)", "pe-latency", "cycles", "speedup-vs-baseline")
+			lats := []sim.Cycle{1, 2, 4, 8}
+			results, err := runResults(len(lats)+1, func(i int) (morphs.Result, error) {
+				if i == 0 {
+					return morphs.RunHATS(morphs.HATSVertexOrdered, prm)
+				}
+				p := prm
+				p.Engine = engine.DefaultConfig()
+				p.Engine.PELatency = lats[i-1]
+				return morphs.RunHATS(morphs.HATSTako, p)
+			})
 			if err != nil {
 				return nil, err
 			}
-			t := stats.NewTable("Fig 23 — PE latency (HATS)", "pe-latency", "cycles", "speedup-vs-baseline")
-			for _, lat := range []sim.Cycle{1, 2, 4, 8} {
-				p := prm
-				p.Engine = engine.DefaultConfig()
-				p.Engine.PELatency = lat
-				r, err := morphs.RunHATS(morphs.HATSTako, p)
-				if err != nil {
-					return nil, err
-				}
-				t.AddRowf(fmt.Sprintf("%d cycles", lat), r.Cycles, r.Speedup(base))
+			base := results[0]
+			for i, lat := range lats {
+				t.AddRowf(fmt.Sprintf("%d cycles", lat), results[i+1].Cycles, results[i+1].Speedup(base))
 			}
 			return t, nil
 		},
@@ -83,17 +90,22 @@ func init() {
 		Run: func(quick bool) (*stats.Table, error) {
 			t := stats.NewTable("Fig 24 — core microarchitecture (PHI)",
 				"core", "baseline-cycles", "täkō-cycles", "speedup")
-			for _, core := range []cpu.Config{cpu.LittleInOrder(), cpu.Goldmont(), cpu.BigOOO()} {
+			cores := []cpu.Config{cpu.LittleInOrder(), cpu.Goldmont(), cpu.BigOOO()}
+			// Core-major, baseline-then-täkō: the sequential loop's order.
+			results, err := runResults(len(cores)*2, func(i int) (morphs.Result, error) {
 				prm := phiParams(quick)
-				prm.Core = core
-				base, err := morphs.RunPHI(morphs.PHIBaseline, prm)
-				if err != nil {
-					return nil, err
+				prm.Core = cores[i/2]
+				v := morphs.PHIBaseline
+				if i%2 == 1 {
+					v = morphs.PHITako
 				}
-				tako, err := morphs.RunPHI(morphs.PHITako, prm)
-				if err != nil {
-					return nil, err
-				}
+				return morphs.RunPHI(v, prm)
+			})
+			if err != nil {
+				return nil, err
+			}
+			for i, core := range cores {
+				base, tako := results[2*i], results[2*i+1]
 				t.AddRowf(core.Name, base.Cycles, tako.Cycles, tako.Speedup(base))
 			}
 			return t, nil
@@ -119,27 +131,22 @@ func init() {
 			if quick {
 				rows = rows[:2]
 			}
-			{
-				for _, rw := range rows {
-					tiles, sz := rw.tiles, rw.sz
-					prm := phiParams(true)
-					prm.Tiles, prm.Threads = tiles, tiles
-					prm.V, prm.E = sz[0], sz[1]
-					base, err := morphs.RunPHI(morphs.PHIBaseline, prm)
-					if err != nil {
-						return nil, err
-					}
-					ub, err := morphs.RunPHI(morphs.PHIUB, prm)
-					if err != nil {
-						return nil, err
-					}
-					tako, err := morphs.RunPHI(morphs.PHITako, prm)
-					if err != nil {
-						return nil, err
-					}
-					t.AddRowf(tiles, sz[1], ub.Speedup(base), tako.Speedup(base),
-						pct(float64(ub.Cycles)/float64(tako.Cycles)-1))
-				}
+			variants := []morphs.PHIVariant{morphs.PHIBaseline, morphs.PHIUB, morphs.PHITako}
+			// Row-major, baseline/UB/täkō within each row.
+			results, err := runResults(len(rows)*len(variants), func(i int) (morphs.Result, error) {
+				rw := rows[i/len(variants)]
+				prm := phiParams(true)
+				prm.Tiles, prm.Threads = rw.tiles, rw.tiles
+				prm.V, prm.E = rw.sz[0], rw.sz[1]
+				return morphs.RunPHI(variants[i%len(variants)], prm)
+			})
+			if err != nil {
+				return nil, err
+			}
+			for i, rw := range rows {
+				base, ub, tako := results[3*i], results[3*i+1], results[3*i+2]
+				t.AddRowf(rw.tiles, rw.sz[1], ub.Speedup(base), tako.Speedup(base),
+					pct(float64(ub.Cycles)/float64(tako.Cycles)-1))
 			}
 			return t, nil
 		},
@@ -152,24 +159,24 @@ func init() {
 		Run: func(quick bool) (*stats.Table, error) {
 			t := stats.NewTable("§9 — callback-buffer size (NVM)", "entries", "cycles", "vs-8-entries")
 			sizes := []int{1, 2, 4, 8, 16, 64}
-			var ref morphs.Result
-			results := map[int]morphs.Result{}
-			for _, n := range sizes {
+			results, err := runResults(len(sizes), func(i int) (morphs.Result, error) {
 				prm := morphs.DefaultNVMParams(64 << 10)
 				prm.Tiles = 4
 				prm.Engine = engine.DefaultConfig()
-				prm.Engine.CallbackBuffer = n
-				r, err := morphs.RunNVM(morphs.NVMTako, prm)
-				if err != nil {
-					return nil, err
-				}
-				results[n] = r
+				prm.Engine.CallbackBuffer = sizes[i]
+				return morphs.RunNVM(morphs.NVMTako, prm)
+			})
+			if err != nil {
+				return nil, err
+			}
+			var ref morphs.Result
+			for i, n := range sizes {
 				if n == 8 {
-					ref = r
+					ref = results[i]
 				}
 			}
-			for _, n := range sizes {
-				r := results[n]
+			for i, n := range sizes {
+				r := results[i]
 				t.AddRowf(n, r.Cycles, pct(float64(r.Cycles)/float64(ref.Cycles)-1))
 			}
 			return t, nil
@@ -183,30 +190,25 @@ func init() {
 		Run: func(quick bool) (*stats.Table, error) {
 			prm := hatsParams(true)
 			t := stats.NewTable("§9 — rTLB size (HATS)", "entries", "pages", "cycles", "vs-256/2MB")
-			var ref morphs.Result
 			type cfg struct {
 				entries int
 				bits    uint
 			}
 			cfgs := []cfg{{256, 21}, {512, 21}, {1024, 21}, {256, 12}, {1024, 12}}
-			results := make([]morphs.Result, len(cfgs))
-			for i, c := range cfgs {
+			results, err := runResults(len(cfgs), func(i int) (morphs.Result, error) {
 				p := prm
 				// rTLB config lives in the hierarchy config; thread it
 				// through a dedicated engine run.
 				p.RTLB = &tlb.Config{
-					Name: "rtlb", Entries: c.entries, PageBits: c.bits,
+					Name: "rtlb", Entries: cfgs[i].entries, PageBits: cfgs[i].bits,
 					HitLatency: 1, WalkLatency: 30,
 				}
-				r, err := morphs.RunHATS(morphs.HATSTako, p)
-				if err != nil {
-					return nil, err
-				}
-				results[i] = r
-				if i == 0 {
-					ref = r
-				}
+				return morphs.RunHATS(morphs.HATSTako, p)
+			})
+			if err != nil {
+				return nil, err
 			}
+			ref := results[0]
 			for i, c := range cfgs {
 				pages := "2MB"
 				if c.bits == 12 {

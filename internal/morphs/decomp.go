@@ -78,8 +78,15 @@ const decompVecInstrs = 100
 type decompView struct{ base mem.Addr }
 
 // RunDecompression executes one variant, verifies the computed sum
-// against the functional reference, and returns its Result.
+// against the functional reference, and returns its Result. Runs are
+// memoized under the run cache when enabled (SetRunCache).
 func RunDecompression(v DecompVariant, prm DecompParams) (Result, error) {
+	return cachedRun("decompression", string(v), prm, func() (Result, error) {
+		return runDecompression(v, prm)
+	})
+}
+
+func runDecompression(v DecompVariant, prm DecompParams) (Result, error) {
 	cfg := system.Default(prm.Tiles)
 	if prm.PlainRRIP {
 		cfg.Hier.NewPolicy = func() cache.Policy { return cache.NewRRIP() }
@@ -229,15 +236,10 @@ func RunDecompression(v DecompVariant, prm DecompParams) (Result, error) {
 	return r, nil
 }
 
-// RunDecompressionAll runs every variant (Fig 6 + Fig 7 inputs).
+// RunDecompressionAll runs every variant (Fig 6 + Fig 7 inputs),
+// fanning independent variants across the scheduler's workers.
 func RunDecompressionAll(prm DecompParams) (map[DecompVariant]Result, error) {
-	out := map[DecompVariant]Result{}
-	for _, v := range AllDecompVariants {
-		r, err := RunDecompression(v, prm)
-		if err != nil {
-			return nil, err
-		}
-		out[v] = r
-	}
-	return out, nil
+	return runAllVariants(AllDecompVariants, func(v DecompVariant) (Result, error) {
+		return RunDecompression(v, prm)
+	})
 }

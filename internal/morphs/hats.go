@@ -73,8 +73,15 @@ type hatsView struct {
 
 // RunHATS executes one variant of the single-threaded edge phase plus
 // the vertex phase, verifies against the reference, and returns its
-// Result.
+// Result. Runs are memoized under the run cache when enabled
+// (SetRunCache).
 func RunHATS(v HATSVariant, prm HATSParams) (Result, error) {
+	return cachedRun("hats", string(v), hatsCacheKey(prm), func() (Result, error) {
+		return runHATS(v, prm)
+	})
+}
+
+func runHATS(v HATSVariant, prm HATSParams) (Result, error) {
 	cfg := system.Scaled(prm.Tiles, prm.CacheScale)
 	cfg.Core = prm.Core
 	cfg.Engine = prm.Engine
@@ -315,15 +322,10 @@ func hatsLogUnread(ctx *engine.Ctx, logRegion mem.Region) {
 	}
 }
 
-// RunHATSAll runs every variant (Fig 16 + Fig 17 inputs).
+// RunHATSAll runs every variant (Fig 16 + Fig 17 inputs), fanning
+// independent variants across the scheduler's workers.
 func RunHATSAll(prm HATSParams) (map[HATSVariant]Result, error) {
-	out := map[HATSVariant]Result{}
-	for _, v := range AllHATSVariants {
-		r, err := RunHATS(v, prm)
-		if err != nil {
-			return nil, err
-		}
-		out[v] = r
-	}
-	return out, nil
+	return runAllVariants(AllHATSVariants, func(v HATSVariant) (Result, error) {
+		return RunHATS(v, prm)
+	})
 }

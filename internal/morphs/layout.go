@@ -56,7 +56,14 @@ func DefaultLayoutParams() LayoutParams {
 type layoutView struct{ base mem.Addr }
 
 // RunLayout executes one variant, verifying every pass's field sum.
+// Runs are memoized under the run cache when enabled (SetRunCache).
 func RunLayout(v LayoutVariant, prm LayoutParams) (Result, error) {
+	return cachedRun("layout", string(v), prm, func() (Result, error) {
+		return runLayout(v, prm)
+	})
+}
+
+func runLayout(v LayoutVariant, prm LayoutParams) (Result, error) {
 	cfg := system.Default(prm.Tiles)
 	if v == LayoutBaseline || v == LayoutGather {
 		cfg.NoTako = true
@@ -169,15 +176,10 @@ func RunLayout(v LayoutVariant, prm LayoutParams) (Result, error) {
 	return collect(s, "layout", string(v), cycles), nil
 }
 
-// RunLayoutAll runs every variant of the AoS→SoA study.
+// RunLayoutAll runs every variant of the AoS→SoA study, fanning
+// independent variants across the scheduler's workers.
 func RunLayoutAll(prm LayoutParams) (map[LayoutVariant]Result, error) {
-	out := map[LayoutVariant]Result{}
-	for _, v := range AllLayoutVariants {
-		r, err := RunLayout(v, prm)
-		if err != nil {
-			return nil, err
-		}
-		out[v] = r
-	}
-	return out, nil
+	return runAllVariants(AllLayoutVariants, func(v LayoutVariant) (Result, error) {
+		return RunLayout(v, prm)
+	})
 }

@@ -30,6 +30,17 @@ type Result struct {
 	// Extra holds study-specific metrics (e.g. decompression counts,
 	// detection flags).
 	Extra map[string]float64
+
+	// Record is the run's observability record (nil when no capture is
+	// armed). It is built by the run itself and entered into the shared
+	// capture log by the driver, in deterministic variant order, once
+	// any parallel fan-out has joined. Treat as immutable: cached
+	// results share one record across figures.
+	Record *system.RunRecord
+	// WallMS is the host wall-clock the simulation took; 0 when Cached.
+	WallMS float64
+	// Cached marks a Result served by the memoized run cache.
+	Cached bool
 }
 
 // collect snapshots system-wide metrics into a Result after a run.
@@ -50,8 +61,9 @@ func collect(s *system.System, study, variant string, cycles sim.Cycle) Result {
 	}
 	extra["load.mean"] = s.H.LoadLat.Mean()
 	extra["load.stddev"] = s.H.LoadLat.Stddev()
-	system.LabelRun(s, study+"/"+variant, s.Ops())
+	rec := system.LabelRun(s, study+"/"+variant, s.Ops())
 	return Result{
+		Record:       rec,
 		Study:        study,
 		Variant:      variant,
 		Cycles:       cycles,

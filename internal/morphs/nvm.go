@@ -7,6 +7,7 @@ import (
 	"tako/internal/cpu"
 	"tako/internal/engine"
 	"tako/internal/mem"
+	"tako/internal/sched"
 	"tako/internal/sim"
 	"tako/internal/system"
 )
@@ -68,8 +69,15 @@ type nvmView struct {
 
 // RunNVM executes one variant: `Transactions` append-only transactions
 // of TxnBytes each, verifying that the NVM data region ends up with the
-// expected contents and that every committed byte was persisted.
+// expected contents and that every committed byte was persisted. Runs
+// are memoized under the run cache when enabled (SetRunCache).
 func RunNVM(v NVMVariant, prm NVMParams) (Result, error) {
+	return cachedRun("nvm", string(v), prm, func() (Result, error) {
+		return runNVM(v, prm)
+	})
+}
+
+func runNVM(v NVMVariant, prm NVMParams) (Result, error) {
 	cfg := system.Default(prm.Tiles)
 	cfg.Engine = prm.Engine
 	if v == NVMBaseline {
@@ -328,19 +336,34 @@ func RunNVMCrash(prm NVMParams, crashAt sim.Cycle) (committed int, err error) {
 	return committedCount, nil
 }
 
-// RunNVMSweep runs all variants across TxnSizes (Fig 19 + Fig 20).
+// RunNVMSweep runs all variants across TxnSizes (Fig 19 + Fig 20). All
+// (size, variant) points are independent simulations, so the whole
+// sweep fans across the scheduler's workers; results assemble — and run
+// records submit — in size-major, variant-minor order, matching the
+// sequential sweep.
 func RunNVMSweep(sizes []int, tiles int) (map[NVMVariant][]Result, error) {
-	out := map[NVMVariant][]Result{}
+	type point struct {
+		size int
+		v    NVMVariant
+	}
+	var points []point
 	for _, size := range sizes {
-		prm := DefaultNVMParams(size)
-		prm.Tiles = tiles
 		for _, v := range AllNVMVariants {
-			r, err := RunNVM(v, prm)
-			if err != nil {
-				return nil, err
-			}
-			out[v] = append(out[v], r)
+			points = append(points, point{size, v})
 		}
+	}
+	results, err := sched.MapResults(len(points), func(i int) (Result, error) {
+		prm := DefaultNVMParams(points[i].size)
+		prm.Tiles = tiles
+		return RunNVM(points[i].v, prm)
+	})
+	if err != nil {
+		return nil, err
+	}
+	submitResults(results...)
+	out := map[NVMVariant][]Result{}
+	for i, pt := range points {
+		out[pt.v] = append(out[pt.v], results[i])
 	}
 	return out, nil
 }

@@ -101,8 +101,15 @@ func roundUp8(n uint64) uint64 { return (n + 7) &^ 7 }
 
 // RunPHI executes one variant of the PageRank scatter phase (plus bin
 // and vertex phases), verifies the final vertex data against the
-// functional reference, and returns its Result.
+// functional reference, and returns its Result. Runs are memoized under
+// the run cache when enabled (SetRunCache).
 func RunPHI(v PHIVariant, prm PHIParams) (Result, error) {
+	return cachedRun("phi", string(v), prm, func() (Result, error) {
+		return runPHI(v, prm)
+	})
+}
+
+func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 	cfg := system.Scaled(prm.Tiles, prm.CacheScale)
 	cfg.Core = prm.Core
 	cfg.Engine = prm.Engine
@@ -498,15 +505,10 @@ func RunPHI(v PHIVariant, prm PHIParams) (Result, error) {
 	return r, nil
 }
 
-// RunPHIAll runs every variant (Fig 13 + Fig 14 inputs).
+// RunPHIAll runs every variant (Fig 13 + Fig 14 inputs), fanning
+// independent variants across the scheduler's workers.
 func RunPHIAll(prm PHIParams) (map[PHIVariant]Result, error) {
-	out := map[PHIVariant]Result{}
-	for _, v := range AllPHIVariants {
-		r, err := RunPHI(v, prm)
-		if err != nil {
-			return nil, err
-		}
-		out[v] = r
-	}
-	return out, nil
+	return runAllVariants(AllPHIVariants, func(v PHIVariant) (Result, error) {
+		return RunPHI(v, prm)
+	})
 }

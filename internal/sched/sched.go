@@ -1,0 +1,102 @@
+// Package sched is the parallel run scheduler for the simulation
+// drivers. Every simulated system is a fully independent deterministic
+// kernel, so experiment fan-outs (variants of one study, sweep points of
+// one sensitivity axis) can run on separate OS threads; sched provides
+// the bounded worker pool they share and guarantees results come back in
+// task order, so tables, goldens, and bench reports are byte-identical
+// to a sequential run.
+//
+// Each simulation kernel stays single-threaded internally; sched only
+// decides how many kernels run at once.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the configured pool width; 0 means GOMAXPROCS.
+var workers atomic.Int64
+
+// SetWorkers sets the number of simulations run concurrently (the -j
+// flag). n <= 0 resets to the default, GOMAXPROCS.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// Workers returns the effective pool width.
+func Workers() int {
+	if n := int(workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(0..n-1) across the worker pool and waits for all of them.
+// With one worker (or one task) it runs inline on the caller's
+// goroutine, which keeps -j 1 byte-for-byte the sequential driver. All
+// tasks run to completion even when one fails; the returned error is the
+// failure with the lowest index, so the error surfaced does not depend
+// on scheduling order.
+func Map(n int, fn func(i int) error) error {
+	errs := mapAll(n, fn)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MapResults runs fn(0..n-1) across the worker pool and returns the
+// results in task order. Like Map, the first error by index wins.
+func MapResults[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Map(n, func(i int) error {
+		r, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func mapAll(n int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return errs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}

@@ -8,44 +8,42 @@
 // next event, preserving determinism.
 package sim
 
-import "container/heap"
-
 // Cycle is a point in simulated time, measured in clock cycles.
 type Cycle = uint64
 
+// event is one queue entry. Exactly one of fn/proc/future is set: fn is
+// an arbitrary scheduled callback, proc is a parked process to resume,
+// future is a Future to complete. Carrying the target directly keeps the
+// wake paths (Sleep, Future, Semaphore, WaitGroup, Barrier, CompleteAt)
+// free of per-event closure allocations.
 type event struct {
-	when Cycle
-	seq  uint64
-	fn   func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	when   Cycle
+	seq    uint64
+	fn     func()
+	proc   *Proc
+	future *Future
 }
 
 // Kernel is a deterministic discrete-event simulator clock and queue.
 // The zero value is not usable; create kernels with NewKernel.
+//
+// The queue is a 4-ary min-heap stored flat in a slice. Compared to
+// container/heap this is monomorphic (no interface{} boxing, so pushes
+// don't allocate) and shallower (half the levels of a binary heap), and
+// popping zeroes the vacated slot so completed events — and everything
+// their closures captured — are collectable instead of pinned by the
+// backing array.
 type Kernel struct {
 	now    Cycle
 	seq    uint64
-	queue  eventHeap
+	queue  []event
 	procs  []*Proc
 	events uint64
+
+	// waiterPool recycles Future waiter slices: futures are one-shot
+	// and allocated in large numbers on memory-access hot paths, so
+	// their waiter backing arrays are worth reusing.
+	waiterPool [][]*Proc
 }
 
 // NewKernel returns an empty kernel at cycle 0.
@@ -66,12 +64,37 @@ func (k *Kernel) At(when Cycle, fn func()) {
 		panic("sim: scheduling event in the past")
 	}
 	k.seq++
-	heap.Push(&k.queue, event{when: when, seq: k.seq, fn: fn})
+	k.push(event{when: when, seq: k.seq, fn: fn})
 }
 
 // After schedules fn to run delay cycles from now.
 func (k *Kernel) After(delay Cycle, fn func()) {
 	k.At(k.now+delay, fn)
+}
+
+// wakeAt schedules p to be dispatched at the given absolute cycle,
+// without allocating a closure.
+func (k *Kernel) wakeAt(when Cycle, p *Proc) {
+	if when < k.now {
+		panic("sim: scheduling event in the past")
+	}
+	k.seq++
+	k.push(event{when: when, seq: k.seq, proc: p})
+}
+
+// wakeAfter schedules p to be dispatched delay cycles from now.
+func (k *Kernel) wakeAfter(delay Cycle, p *Proc) {
+	k.wakeAt(k.now+delay, p)
+}
+
+// completeAt schedules f to complete at the given absolute cycle,
+// without allocating a closure.
+func (k *Kernel) completeAt(when Cycle, f *Future) {
+	if when < k.now {
+		panic("sim: scheduling event in the past")
+	}
+	k.seq++
+	k.push(event{when: when, seq: k.seq, future: f})
 }
 
 // Step executes the next pending event, advancing the clock to its time.
@@ -80,10 +103,17 @@ func (k *Kernel) Step() bool {
 	if len(k.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.queue).(event)
+	e := k.pop()
 	k.now = e.when
 	k.events++
-	e.fn()
+	switch {
+	case e.proc != nil:
+		e.proc.dispatch()
+	case e.future != nil:
+		e.future.Complete()
+	default:
+		e.fn()
+	}
 	return true
 }
 
@@ -117,4 +147,84 @@ func (k *Kernel) Blocked() []string {
 		}
 	}
 	return out
+}
+
+// before orders events by (time, insertion sequence).
+func (a *event) before(b *event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// push inserts e, sifting it up from the tail.
+func (k *Kernel) push(e event) {
+	q := append(k.queue, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !q[i].before(&q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	k.queue = q
+}
+
+// pop removes and returns the minimum event, zeroing the vacated tail
+// slot so the popped event's closure (and captured state) is GC-able.
+func (k *Kernel) pop() event {
+	q := k.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	k.queue = q
+
+	// Sift the relocated tail element down: swap with the smallest of
+	// up to four children until in place.
+	i := 0
+	for {
+		min := i
+		first := i<<2 + 1
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if q[c].before(&q[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}
+
+// getWaiters returns an empty waiter slice, reusing a pooled backing
+// array when one is available.
+func (k *Kernel) getWaiters() []*Proc {
+	if n := len(k.waiterPool); n > 0 {
+		s := k.waiterPool[n-1]
+		k.waiterPool[n-1] = nil
+		k.waiterPool = k.waiterPool[:n-1]
+		return s
+	}
+	return make([]*Proc, 0, 4)
+}
+
+// putWaiters returns a drained waiter slice to the pool. Entries are
+// cleared so pooled arrays don't pin processes.
+func (k *Kernel) putWaiters(s []*Proc) {
+	if cap(s) == 0 || len(k.waiterPool) >= 64 {
+		return
+	}
+	clear(s[:cap(s)])
+	k.waiterPool = append(k.waiterPool, s[:0])
 }

@@ -69,7 +69,7 @@ func (p *Proc) Done() bool { return p.done }
 
 // Sleep advances the process by d cycles of simulated time.
 func (p *Proc) Sleep(d Cycle) {
-	p.k.After(d, func() { p.dispatch() })
+	p.k.wakeAfter(d, p)
 	p.block()
 }
 
@@ -78,6 +78,9 @@ func (p *Proc) Sleep(d Cycle) {
 func (p *Proc) Wait(f *Future) {
 	if f.done {
 		return
+	}
+	if f.waiters == nil {
+		f.waiters = f.k.getWaiters()
 	}
 	f.waiters = append(f.waiters, p)
 	p.block()
@@ -108,12 +111,11 @@ func (f *Future) Complete() {
 	f.done = true
 	f.when = f.k.now
 	for _, p := range f.waiters {
-		p := p
-		f.k.After(0, func() { p.dispatch() })
+		f.k.wakeAfter(0, p)
 	}
+	f.k.putWaiters(f.waiters)
 	f.waiters = nil
 	for _, fn := range f.watches {
-		fn := fn
 		f.k.After(0, fn)
 	}
 	f.watches = nil
@@ -121,7 +123,7 @@ func (f *Future) Complete() {
 
 // CompleteAt schedules the future to complete at absolute cycle t.
 func (f *Future) CompleteAt(t Cycle) {
-	f.k.At(t, f.Complete)
+	f.k.completeAt(t, f)
 }
 
 // Done reports whether the future has completed.

@@ -41,10 +41,14 @@ func (s *Semaphore) TryAcquire() bool {
 // Release returns a slot. If a process is waiting, the slot passes
 // directly to the first waiter.
 func (s *Semaphore) Release() {
-	if len(s.waiters) > 0 {
+	if n := len(s.waiters); n > 0 {
 		p := s.waiters[0]
-		s.waiters = s.waiters[1:]
-		s.k.After(0, func() { p.dispatch() })
+		// Shift in place rather than reslicing forward, so the backing
+		// array is reused across acquire/release cycles.
+		copy(s.waiters, s.waiters[1:])
+		s.waiters[n-1] = nil
+		s.waiters = s.waiters[:n-1]
+		s.k.wakeAfter(0, p)
 		return
 	}
 	if s.free == s.cap {
@@ -99,9 +103,9 @@ func (w *WaitGroup) Count() int { return w.n }
 
 func (w *WaitGroup) wake() {
 	for _, p := range w.waiters {
-		p := p
-		w.k.After(0, func() { p.dispatch() })
+		w.k.wakeAfter(0, p)
 	}
+	w.k.putWaiters(w.waiters)
 	w.waiters = nil
 }
 
@@ -110,6 +114,9 @@ func (w *WaitGroup) wake() {
 func (w *WaitGroup) Wait(p *Proc) {
 	if w.n == 0 {
 		return
+	}
+	if w.waiters == nil {
+		w.waiters = w.k.getWaiters()
 	}
 	w.waiters = append(w.waiters, p)
 	p.block()
@@ -139,11 +146,14 @@ func (b *Barrier) Arrive(p *Proc) {
 	if b.arrived == b.n {
 		b.arrived = 0
 		for _, w := range b.waiters {
-			w := w
-			b.k.After(0, func() { w.dispatch() })
+			b.k.wakeAfter(0, w)
 		}
+		b.k.putWaiters(b.waiters)
 		b.waiters = nil
 		return
+	}
+	if b.waiters == nil {
+		b.waiters = b.k.getWaiters()
 	}
 	b.waiters = append(b.waiters, p)
 	p.block()

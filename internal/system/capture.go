@@ -13,9 +13,17 @@ import (
 // process-wide capture (StartCapture) before running experiments, every
 // System built afterwards attaches a tracer streaming into the shared
 // exporter, and each run labels itself (LabelRun, called by the study
-// drivers once the study/variant is known) to record its metrics
+// drivers once the study/variant is known) to build its metrics
 // snapshot. StopCapture closes the exporter and hands back the run
 // records for -metrics / -bench reports.
+//
+// Record construction is confined to the run: LabelRun reads only the
+// run's own System and returns the record; nothing about a run's
+// contents lives in shared state. Runs enter the shared capture log only
+// through an explicit Submit, which the drivers call in deterministic
+// (variant/sweep) order after any parallel fan-out has joined — so the
+// capture log, and everything serialized from it, is byte-identical no
+// matter how many simulations ran concurrently.
 //
 // When no capture is armed — every test and library use — all of this is
 // a single mutex-guarded nil check per System, and runs record nothing.
@@ -38,12 +46,25 @@ type RunRecord struct {
 	Cycles       uint64         `json:"cycles"`
 	Ops          uint64         `json:"ops"` // core + engine instrs + DRAM accesses
 	KernelEvents uint64         `json:"kernel_events"`
+	Cached       bool           `json:"cached,omitempty"` // served by the memo cache, not re-simulated
 	Metrics      stats.Snapshot `json:"metrics"`
+}
+
+// CaptureResult is everything one capture window collected: the run
+// records in submission order (deterministic — drivers submit in
+// variant/sweep order), plus the window's aggregate timing. ExecMS sums
+// the wall-clock of simulations actually executed; cached submissions
+// contribute no ExecMS, so ExecMS is the serial-time estimate a
+// parallel run is compared against.
+type CaptureResult struct {
+	Runs   []RunRecord
+	ExecMS float64
+	Cached int
 }
 
 type capture struct {
 	cfg     CaptureConfig
-	runs    []RunRecord
+	result  CaptureResult
 	nextPid int
 }
 
@@ -65,20 +86,20 @@ func StartCapture(cfg CaptureConfig) {
 }
 
 // StopCapture disarms the capture, closes the trace sink, and returns
-// every recorded run in execution order.
-func StopCapture() ([]RunRecord, error) {
+// every submitted run in submission order.
+func StopCapture() (CaptureResult, error) {
 	captureMu.Lock()
 	defer captureMu.Unlock()
 	if active == nil {
-		return nil, nil
+		return CaptureResult{}, nil
 	}
-	runs := active.runs
+	res := active.result
 	var err error
 	if active.cfg.Sink != nil {
 		err = active.cfg.Sink.Close()
 	}
 	active = nil
-	return runs, err
+	return res, err
 }
 
 // attachCapture wires a freshly built System into the active capture (if
@@ -105,12 +126,42 @@ func (s *System) attachCapture() {
 	}
 }
 
-// LabelRun records a completed run under the given label ("study/variant")
-// — its cycle count, architectural op count, and a deterministic metrics
-// snapshot — and names the run's track group in the trace output. No-op
-// unless a capture armed before the System was built is still active.
-func LabelRun(s *System, label string, ops uint64) {
+// LabelRun builds a completed run's record under the given label
+// ("study/variant") — its cycle count, architectural op count, and a
+// deterministic metrics snapshot — and names the run's track group in
+// the trace output. The record is NOT entered into the capture log;
+// the driver submits it (Submit) once fan-out order is known. Returns
+// nil unless a capture armed before the System was built is still
+// active.
+func LabelRun(s *System, label string, ops uint64) *RunRecord {
 	if !s.captured {
+		return nil
+	}
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	if active == nil {
+		return nil
+	}
+	if active.cfg.Sink != nil {
+		active.cfg.Sink.SetProcessName(s.capPid, label)
+	}
+	return &RunRecord{
+		Label:        label,
+		Cycles:       s.K.Now(),
+		Ops:          ops,
+		KernelEvents: s.K.Events(),
+		Metrics:      s.H.Metrics.Snapshot(),
+	}
+}
+
+// Submit enters a run record into the active capture log. Drivers call
+// it in deterministic variant/sweep order after parallel sections join.
+// wallMS is the wall-clock the simulation took to execute (0 for a
+// cache-served record); cached marks records replayed from the memo
+// cache so paired figures account for shared runs without re-simulating.
+// No-op when rec is nil or no capture is active.
+func Submit(rec *RunRecord, wallMS float64, cached bool) {
+	if rec == nil {
 		return
 	}
 	captureMu.Lock()
@@ -118,16 +169,14 @@ func LabelRun(s *System, label string, ops uint64) {
 	if active == nil {
 		return
 	}
-	if active.cfg.Sink != nil {
-		active.cfg.Sink.SetProcessName(s.capPid, label)
+	r := *rec
+	r.Cached = cached
+	if cached {
+		active.result.Cached++
+	} else {
+		active.result.ExecMS += wallMS
 	}
-	active.runs = append(active.runs, RunRecord{
-		Label:        label,
-		Cycles:       s.K.Now(),
-		Ops:          ops,
-		KernelEvents: s.K.Events(),
-		Metrics:      s.H.Metrics.Snapshot(),
-	})
+	active.result.Runs = append(active.result.Runs, r)
 }
 
 // MetricsReport is the JSON document written by takosim -metrics and

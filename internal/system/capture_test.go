@@ -35,7 +35,7 @@ func captureWorkload(t *testing.T, label string) {
 		}
 	})
 	s.Run()
-	LabelRun(s, label, s.Ops())
+	Submit(LabelRun(s, label, s.Ops()), 1.5, false)
 }
 
 // TestCaptureEndToEnd runs a workload through the full capture path —
@@ -51,15 +51,18 @@ func TestCaptureEndToEnd(t *testing.T) {
 	}
 	StartCapture(CaptureConfig{Sink: sink})
 	captureWorkload(t, "test/e2e")
-	runs, err := StopCapture()
+	res, err := StopCapture()
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	if len(runs) != 1 {
-		t.Fatalf("runs = %d, want 1", len(runs))
+	if len(res.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(res.Runs))
 	}
-	r := runs[0]
+	if res.ExecMS != 1.5 || res.Cached != 0 {
+		t.Errorf("ExecMS = %v, Cached = %d; want 1.5, 0", res.ExecMS, res.Cached)
+	}
+	r := res.Runs[0]
 	if r.Label != "test/e2e" {
 		t.Errorf("label = %q", r.Label)
 	}
@@ -114,11 +117,11 @@ func TestCaptureByteDeterministic(t *testing.T) {
 		}
 		StartCapture(CaptureConfig{Sink: sink, TraceKinds: []string{"l3.*", "dram.*", "cb.*"}})
 		captureWorkload(t, "test/det")
-		runs, err := StopCapture()
+		res, err := StopCapture()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := WriteMetricsReport(&mb, runs); err != nil {
+		if err := WriteMetricsReport(&mb, res.Runs); err != nil {
 			t.Fatal(err)
 		}
 		return tb.Bytes(), mb.Bytes()
@@ -144,13 +147,13 @@ func TestCaptureInactiveIsInert(t *testing.T) {
 	if s.captured {
 		t.Fatal("system captured with no active capture")
 	}
-	LabelRun(s, "ignored", 1)
-	runs, err := StopCapture()
+	Submit(LabelRun(s, "ignored", 1), 1, false)
+	res, err := StopCapture()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runs != nil {
-		t.Fatalf("runs = %v, want nil", runs)
+	if res.Runs != nil || res.ExecMS != 0 || res.Cached != 0 {
+		t.Fatalf("res = %+v, want zero value", res)
 	}
 }
 

@@ -159,7 +159,7 @@ func TestSinkForUnknownFormat(t *testing.T) {
 func TestMinSpanThreshold(t *testing.T) {
 	tr := New(16)
 	tr.SetMinSpan(10)
-	tr.EmitSpan(0, 5, "l1.0", "hit", "")    // dropped: 5 < 10
+	tr.EmitSpan(0, 5, "l1.0", "hit", "")     // dropped: 5 < 10
 	tr.EmitSpan(0, 50, "dram.0", "read", "") // kept
 	tr.Emit(3, "l2.0", "miss", "")           // instants unaffected
 	evs := tr.Events()
