@@ -12,6 +12,7 @@ import (
 	"tako/internal/energy"
 	"tako/internal/engine"
 	"tako/internal/exp"
+	"tako/internal/flat"
 	"tako/internal/hier"
 	"tako/internal/mem"
 	"tako/internal/morphs"
@@ -482,4 +483,125 @@ func BenchmarkHierarchyThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(accesses*b.N)/b.Elapsed().Seconds(), "sim-accesses/s")
+}
+
+// TestHierarchyAccessAllocs is the alloc-count regression gate for the
+// whole per-access hot path (cache lookups, directory, lock tables,
+// proc/future/line-buffer pools): once caches, pools, and table
+// capacities are warm, a simulated access must be allocation-free. The
+// 0.01 allocs/access budget absorbs incidental runtime allocations
+// without letting a per-access allocation (1.0+) regress in.
+func TestHierarchyAccessAllocs(t *testing.T) {
+	k := sim.NewKernel()
+	h := hier.New(k, hier.DefaultConfig(4), energy.NewMeter(), nil, nil)
+	const accesses = 10000
+	run := func() {
+		k.Go("chase", func(p *sim.Proc) {
+			for j := 0; j < accesses; j++ {
+				h.Load(p, 0, mem.Addr(0x10_0000+(j%4096)*64))
+			}
+		})
+		k.Run()
+	}
+	run() // warm: fills caches, grows tables, populates pools
+	avg := testing.AllocsPerRun(5, run)
+	if per := avg / accesses; per > 0.01 {
+		t.Fatalf("steady-state access allocates %.4f allocs/access (%.0f per %d accesses), want ≤ 0.01",
+			per, avg, accesses)
+	}
+}
+
+// Data-layout microbenches: the open-addressed table and the arena are
+// the substrate under every access (directory entries, MSHR/lock
+// entries, memory pages), so their churn costs are pinned here.
+
+// BenchmarkDirectoryTableChurn models the shared directory's lifetime
+// pattern: entries inserted on fill, mutated while shared, deleted on
+// eviction — a steady insert/delete churn over a long-lived table, the
+// case tombstone-based deletion degrades on and backshift deletion keeps
+// flat.
+func BenchmarkDirectoryTableChurn(b *testing.B) {
+	type dirEntry struct {
+		sharers uint64
+		owner   int8
+	}
+	var t flat.Table[dirEntry]
+	const live = 4096 // resident lines at steady state
+	for i := 0; i < live; i++ {
+		t.Put(uint64(i)*64, dirEntry{sharers: 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		old := uint64(i%live) * 64
+		neu := uint64(live+i%live) * 64
+		t.Delete(old)
+		e := t.Put(neu, dirEntry{sharers: 1 << (i % 4)})
+		e.owner = int8(i % 4)
+		t.Delete(neu)
+		t.Put(old, dirEntry{sharers: 1})
+	}
+	b.ReportMetric(float64(4*b.N)/b.Elapsed().Seconds(), "table-ops/s")
+}
+
+// BenchmarkMSHRTableLockUnlock models the per-tile MSHR/lock table's
+// per-access cycle: GetOrPut on the line address (acquire), Ref (the
+// unlock-time lookup), Delete (release). Unlike the directory, entries
+// are short-lived — most accesses create and destroy one.
+func BenchmarkMSHRTableLockUnlock(b *testing.B) {
+	type lockEntry struct {
+		seq uint64
+		fut uintptr
+	}
+	var t flat.Table[lockEntry]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		la := uint64(0x10_0000 + (i%512)*64)
+		e, _ := t.GetOrPut(la, lockEntry{})
+		e.seq++
+		if r := t.Ref(la); r != nil {
+			t.Delete(la)
+		}
+	}
+	b.ReportMetric(float64(3*b.N)/b.Elapsed().Seconds(), "table-ops/s")
+}
+
+// BenchmarkArenaAccess measures the page-granular memory arena on a
+// strided word mix spanning many pages — the DRAM backing-store path
+// every fill and writeback takes.
+func BenchmarkArenaAccess(b *testing.B) {
+	m := mem.NewMemory()
+	const span = 1 << 24 // 16 MiB: well past one page, sparse pages touched
+	for a := uint64(0); a < span; a += 4096 {
+		m.WriteU64(mem.Addr(a), a) // pre-fault the pages
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		a := mem.Addr(uint64(i*8192+(i%8)*8) % span)
+		m.WriteU64(a, uint64(i))
+		sink += m.ReadU64(a)
+	}
+	_ = sink
+	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "word-ops/s")
+}
+
+// BenchmarkArenaLineCopy measures full-line reads/writes through the
+// arena (the granularity fills and writebacks actually move).
+func BenchmarkArenaLineCopy(b *testing.B) {
+	m := mem.NewMemory()
+	var line mem.Line
+	for w := 0; w < mem.WordsPerLine; w++ {
+		line.SetWord(w, uint64(w)*0x9e3779b97f4a7c15)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		la := mem.Addr((i % 65536) * 64)
+		m.WriteLine(la, &line)
+		m.PeekLine(la, &line)
+	}
+	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "line-ops/s")
 }

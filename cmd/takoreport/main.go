@@ -39,6 +39,7 @@ import (
 
 	"tako/internal/exp"
 	"tako/internal/morphs"
+	"tako/internal/prof"
 	"tako/internal/sched"
 	"tako/internal/system"
 )
@@ -82,8 +83,17 @@ func main() {
 
 		golden       = flag.String("golden", "", "compare each experiment's op count against this golden JSON (requires -bench)")
 		updateGolden = flag.Bool("update-golden", false, "rewrite the -golden file from this run instead of comparing")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "takoreport: %v\n", err)
+		os.Exit(1)
+	}
 
 	sched.SetWorkers(*jobs)
 	// The run cache is process-global and never evicts, so -skip only
@@ -196,6 +206,10 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "takoreport: writing profile: %v\n", err)
+		os.Exit(1)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "takoreport: %d experiments failed\n", failures)

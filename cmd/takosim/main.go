@@ -34,6 +34,7 @@ import (
 	"tako/internal/exp"
 	"tako/internal/hier"
 	"tako/internal/morphs"
+	"tako/internal/prof"
 	"tako/internal/sched"
 	"tako/internal/system"
 	"tako/internal/trace"
@@ -52,8 +53,17 @@ func main() {
 		traceFormat = flag.String("trace-format", "chrome", "trace format: chrome (Perfetto-loadable) or jsonl")
 		traceKinds  = flag.String("trace-kinds", "", "comma-separated event-kind filters (e.g. 'cb.*,dram.*,l3.*'); empty records everything")
 		traceMinDur = flag.Uint64("trace-min-dur", 0, "drop spans shorter than this many cycles (instants are kept)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "takosim: %v\n", err)
+		os.Exit(1)
+	}
 
 	sched.SetWorkers(*jobs)
 	morphs.SetRunCache(true)
@@ -71,6 +81,7 @@ func main() {
 		if *id == "" && !*list {
 			os.Exit(2)
 		}
+		stopProf()
 		return
 	}
 
@@ -144,5 +155,9 @@ func main() {
 			}
 			fmt.Printf("metrics written to %s (%d runs)\n", *metricsOut, len(captured.Runs))
 		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "takosim: writing profile: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -70,12 +70,37 @@ type Stats struct {
 }
 
 // Cache is one set-associative array.
+//
+// Line state lives in one contiguous slab indexed by set*ways+way (no
+// per-set slice headers or pointer indirection: a lookup is one index
+// computation into a single allocation). Two small per-set sidecars
+// accelerate the hot scans without changing any outcome: valid[s] counts
+// valid ways (a full set skips the find-an-invalid-way scan, which would
+// find nothing), and mru[s] remembers the last way hit so the common
+// re-reference probe is a single tag compare.
 type Cache struct {
 	cfg      Config
-	sets     [][]LineState
+	lines    []LineState // slab: numSets * ways entries
+	ways     int
 	numSets  int
+	valid    []int16 // per-set count of valid ways
+	mru      []int16 // per-set way of the last hit/fill
 	lruClock uint64
 	Stats    Stats
+
+	// Victim-scan scratch: allowedFn is built once and reads vcSet /
+	// vcConstraint, which ChooseVictim binds per call, so passing the
+	// eligibility predicate through the Policy interface never allocates
+	// a closure. Policies must not re-enter ChooseVictim (none do — they
+	// are pure scans over the set).
+	vcSet        []LineState
+	vcConstraint VictimConstraint
+	allowedFn    func(int) bool
+}
+
+// set returns the way array of set s as a slice of the slab.
+func (c *Cache) set(s int) []LineState {
+	return c.lines[s*c.ways : (s+1)*c.ways]
 }
 
 // New builds a cache array from cfg. Size must be divisible by
@@ -95,10 +120,22 @@ func New(cfg Config) *Cache {
 	if cfg.Policy == nil {
 		cfg.Policy = NewTRRIP()
 	}
-	c := &Cache{cfg: cfg, numSets: numSets}
-	c.sets = make([][]LineState, numSets)
-	for i := range c.sets {
-		c.sets[i] = make([]LineState, cfg.Ways)
+	c := &Cache{cfg: cfg, ways: cfg.Ways, numSets: numSets}
+	c.lines = make([]LineState, numSets*cfg.Ways)
+	c.valid = make([]int16, numSets)
+	c.mru = make([]int16, numSets)
+	c.allowedFn = func(i int) bool {
+		l := &c.vcSet[i]
+		if l.Locked {
+			return false
+		}
+		if c.vcConstraint.CallbackFree && l.Morph {
+			return false
+		}
+		if c.vcConstraint.Avoid != nil && c.vcConstraint.Avoid(l.Tag) {
+			return false
+		}
+		return true
 	}
 	return c
 }
@@ -118,10 +155,17 @@ func (c *Cache) SetIndex(a mem.Addr) int {
 // replacement state; callers use Touch on hits so that probes (directory
 // lookups, flush walks) do not perturb the policy.
 func (c *Cache) Lookup(a mem.Addr) *LineState {
-	set := c.sets[c.SetIndex(a)]
+	idx := c.SetIndex(a)
+	set := c.set(idx)
 	la := a.Line()
+	// MRU fast path: tags are unique per set, so a hint hit is the
+	// unique answer and a full scan is equivalent when it misses.
+	if m := c.mru[idx]; set[m].Valid && set[m].Tag == la {
+		return &set[m]
+	}
 	for i := range set {
 		if set[i].Valid && set[i].Tag == la {
+			c.mru[idx] = int16(i)
 			return &set[i]
 		}
 	}
@@ -134,16 +178,25 @@ func (c *Cache) Contains(a mem.Addr) bool { return c.Lookup(a) != nil }
 // Touch records a demand hit on a's line for the replacement policy.
 func (c *Cache) Touch(a mem.Addr) {
 	idx := c.SetIndex(a)
-	set := c.sets[idx]
+	set := c.set(idx)
 	la := a.Line()
-	for i := range set {
-		if set[i].Valid && set[i].Tag == la {
-			c.lruClock++
-			set[i].LRU = c.lruClock
-			c.cfg.Policy.OnHit(set, i)
+	i := int(c.mru[idx])
+	if !set[i].Valid || set[i].Tag != la {
+		i = -1
+		for w := range set {
+			if set[w].Valid && set[w].Tag == la {
+				i = w
+				break
+			}
+		}
+		if i < 0 {
 			return
 		}
+		c.mru[idx] = int16(i)
 	}
+	c.lruClock++
+	set[i].LRU = c.lruClock
+	c.cfg.Policy.OnHit(set, i)
 }
 
 // VictimConstraint restricts victim selection.
@@ -164,24 +217,19 @@ type VictimConstraint struct {
 // excluded (all locked, or no callback-free line under the constraint —
 // the insert invariant makes the latter impossible for CallbackFree).
 func (c *Cache) ChooseVictim(a mem.Addr, constraint VictimConstraint) (way int, ok bool) {
-	set := c.sets[c.SetIndex(a)]
-	for i := range set {
-		if !set[i].Valid {
-			return i, true
+	idx := c.SetIndex(a)
+	set := c.set(idx)
+	// The invalid-way scan returns the first invalid way; when the valid
+	// count says the set is full it would find nothing, so skip it.
+	if int(c.valid[idx]) < c.ways {
+		for i := range set {
+			if !set[i].Valid {
+				return i, true
+			}
 		}
 	}
-	allowed := func(i int) bool {
-		if set[i].Locked {
-			return false
-		}
-		if constraint.CallbackFree && set[i].Morph {
-			return false
-		}
-		if constraint.Avoid != nil && constraint.Avoid(set[i].Tag) {
-			return false
-		}
-		return true
-	}
+	c.vcSet, c.vcConstraint = set, constraint
+	allowed := c.allowedFn
 	any := false
 	for i := range set {
 		if allowed(i) {
@@ -190,9 +238,14 @@ func (c *Cache) ChooseVictim(a mem.Addr, constraint VictimConstraint) (way int, 
 		}
 	}
 	if !any {
+		c.vcSet, c.vcConstraint = nil, VictimConstraint{}
 		return -1, false
 	}
-	return c.cfg.Policy.Victim(set, allowed), true
+	way = c.cfg.Policy.Victim(set, allowed)
+	// Unbind the scratch so pooled state never pins a caller's Avoid hook
+	// or outlives the call.
+	c.vcSet, c.vcConstraint = nil, VictimConstraint{}
+	return way, true
 }
 
 // FillOpts describes an incoming line.
@@ -206,9 +259,11 @@ type FillOpts struct {
 
 // EvictWay removes the line in set idx/way and returns its prior state.
 func (c *Cache) evictWay(setIdx, way int) LineState {
-	old := c.sets[setIdx][way]
-	c.sets[setIdx][way] = LineState{}
+	set := c.set(setIdx)
+	old := set[way]
+	set[way] = LineState{}
 	if old.Valid {
+		c.valid[setIdx]--
 		c.Stats.Evictions++
 		if old.Dirty {
 			c.Stats.Writebacks++
@@ -231,7 +286,7 @@ func (c *Cache) evictWay(setIdx, way int) LineState {
 func (c *Cache) FillAt(a mem.Addr, way int, data *mem.Line, opts FillOpts) LineState {
 	setIdx := c.SetIndex(a)
 	evicted := c.evictWay(setIdx, way)
-	set := c.sets[setIdx]
+	set := c.set(setIdx)
 	for w := range set {
 		if set[w].Valid && set[w].Tag == a.Line() {
 			panic(fmt.Sprintf("cache %s: duplicate fill of line %v (already in way %d)",
@@ -252,6 +307,8 @@ func (c *Cache) FillAt(a mem.Addr, way int, data *mem.Line, opts FillOpts) LineS
 	if data != nil {
 		set[way].Data = *data
 	}
+	c.valid[setIdx]++
+	c.mru[setIdx] = int16(way)
 	c.cfg.Policy.OnInsert(set, way, opts.EngineFill)
 	c.Stats.Fills++
 	return evicted
@@ -261,7 +318,7 @@ func (c *Cache) FillAt(a mem.Addr, way int, data *mem.Line, opts FillOpts) LineS
 // evicting victimWay, preserves the per-set invariant of ≥1 callback-free
 // line (counting invalid lines as callback-free).
 func (c *Cache) CanInsertMorph(a mem.Addr, victimWay int) bool {
-	set := c.sets[c.SetIndex(a)]
+	set := c.set(c.SetIndex(a))
 	for i := range set {
 		if i == victimWay {
 			continue // being replaced by the Morph line
@@ -289,7 +346,7 @@ func (c *Cache) ChooseVictimForInsert(a mem.Addr, opts FillOpts, constraint Vict
 		if constraint.CallbackFree {
 			return -1, false
 		}
-		set := c.sets[c.SetIndex(a)]
+		set := c.set(c.SetIndex(a))
 		allowed := func(i int) bool {
 			if set[i].Locked || !set[i].Morph {
 				return false
@@ -325,7 +382,7 @@ func (c *Cache) ChooseVictimForInsert(a mem.Addr, opts FillOpts, constraint Vict
 // back-invalidations). ok=false if the line is not present.
 func (c *Cache) ExtractLine(a mem.Addr) (LineState, bool) {
 	setIdx := c.SetIndex(a)
-	set := c.sets[setIdx]
+	set := c.set(setIdx)
 	la := a.Line()
 	for i := range set {
 		if set[i].Valid && set[i].Tag == la {
@@ -338,11 +395,10 @@ func (c *Cache) ExtractLine(a mem.Addr) (LineState, bool) {
 // Walk calls fn for every valid line; fn may mutate the line state but
 // must not invalidate it (use ExtractLine afterwards).
 func (c *Cache) Walk(fn func(*LineState)) {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			if c.sets[s][w].Valid {
-				fn(&c.sets[s][w])
-			}
+	// Slab order is (set, way) order, matching the old nested loops.
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			fn(&c.lines[i])
 		}
 	}
 }
@@ -351,8 +407,8 @@ func (c *Cache) Walk(fn func(*LineState)) {
 // invalid lines), exposing replacement state to invariant checkers and
 // verification harnesses. fn must not mutate the slice.
 func (c *Cache) WalkSets(fn func(setIdx int, set []LineState)) {
-	for s := range c.sets {
-		fn(s, c.sets[s])
+	for s := 0; s < c.numSets; s++ {
+		fn(s, c.set(s))
 	}
 }
 
@@ -361,15 +417,18 @@ func (c *Cache) WalkSets(fn func(setIdx int, set []LineState)) {
 // within the 2-bit range, and invalid lines carrying no stale metadata
 // bits. Used by the hierarchy-wide invariant checker.
 func (c *Cache) CheckReplacementState() error {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			l := &c.sets[s][w]
+	for s := 0; s < c.numSets; s++ {
+		set := c.set(s)
+		valid := 0
+		for w := range set {
+			l := &set[w]
 			if !l.Valid {
 				if l.Dirty || l.Morph || l.Locked || l.Phantom {
 					return fmt.Errorf("cache %s: set %d way %d invalid but carries state bits", c.cfg.Name, s, w)
 				}
 				continue
 			}
+			valid++
 			if l.Tag != l.Tag.Line() {
 				return fmt.Errorf("cache %s: set %d way %d tag %v not line-aligned", c.cfg.Name, s, w, l.Tag)
 			}
@@ -380,12 +439,16 @@ func (c *Cache) CheckReplacementState() error {
 			if l.RRPV > rrpvMax {
 				return fmt.Errorf("cache %s: line %v RRPV %d beyond max %d", c.cfg.Name, l.Tag, l.RRPV, rrpvMax)
 			}
-			for w2 := w + 1; w2 < len(c.sets[s]); w2++ {
-				if c.sets[s][w2].Valid && c.sets[s][w2].Tag == l.Tag {
+			for w2 := w + 1; w2 < len(set); w2++ {
+				if set[w2].Valid && set[w2].Tag == l.Tag {
 					return fmt.Errorf("cache %s: duplicate tag %v in set %d (ways %d, %d)",
 						c.cfg.Name, l.Tag, s, w, w2)
 				}
 			}
+		}
+		if valid != int(c.valid[s]) {
+			return fmt.Errorf("cache %s: set %d valid-count sidecar says %d, actual %d",
+				c.cfg.Name, s, c.valid[s], valid)
 		}
 	}
 	return nil
@@ -407,10 +470,11 @@ func (c *Cache) LinesInRegion(r mem.Region) []mem.Addr {
 // callback-free (invalid or Morph-less) line. Returns an error naming the
 // first violating set. Used by property tests and the deadlock study.
 func (c *Cache) CheckMorphInvariant() error {
-	for s := range c.sets {
+	for s := 0; s < c.numSets; s++ {
+		set := c.set(s)
 		free := false
-		for w := range c.sets[s] {
-			l := &c.sets[s][w]
+		for w := range set {
+			l := &set[w]
 			if !l.Valid || !l.Morph {
 				free = true
 				break

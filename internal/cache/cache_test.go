@@ -168,7 +168,7 @@ func TestCallbackFreeConstraint(t *testing.T) {
 		t.Fatal("no callback-free victim found")
 	}
 	set := c.SetIndex(addrFor(0, 4))
-	if got := c.sets[set][way].Tag; got != addrFor(0, 3) {
+	if got := c.set(set)[way].Tag; got != addrFor(0, 3) {
 		t.Fatalf("callback-free victim = %v, want %v", got, addrFor(0, 3))
 	}
 }

@@ -205,6 +205,36 @@ func (d *DRAM) ReadLine(a mem.Addr, dst *mem.Line) *sim.Future {
 	return f
 }
 
+// ReadLineWait is ReadLine for callers that wait immediately: it blocks
+// p until the transfer finishes. The completion future comes from the
+// kernel's pool (and returns to it when its event fires), so a steady
+// stream of misses allocates nothing here.
+func (d *DRAM) ReadLineWait(p *sim.Proc, a mem.Addr, dst *mem.Line) {
+	d.Reads++
+	d.mReads.Inc()
+	d.account(a, false)
+	d.store.PeekLine(a, dst)
+	f := d.k.GetFuture()
+	f.CompleteAt(d.transfer(a, "dram.read"))
+	p.Wait(f)
+}
+
+// WriteLineNoWait is WriteLine for fire-and-forget writebacks: identical
+// functional and timing behavior (the completion event still holds the
+// simulation open until the transfer drains), but the internal future is
+// pooled rather than returned.
+func (d *DRAM) WriteLineNoWait(a mem.Addr, src *mem.Line) {
+	d.Writes++
+	d.mWrites.Inc()
+	d.account(a, true)
+	d.store.WriteLine(a, src)
+	if d.IsNVM(a) {
+		d.persistedLines[a.Line()] = struct{}{}
+	}
+	f := d.k.GetFuture()
+	f.CompleteAt(d.transfer(a, "dram.write"))
+}
+
 // WriteLine writes the line containing a. Data is applied immediately;
 // the future completes when the controller finishes the transfer.
 func (d *DRAM) WriteLine(a mem.Addr, src *mem.Line) *sim.Future {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"tako/internal/energy"
+	"tako/internal/flat"
 	"tako/internal/hier"
 	"tako/internal/mem"
 	"tako/internal/sim"
@@ -133,8 +134,11 @@ type Stats struct {
 }
 
 type engTile struct {
-	buffer    *sim.Semaphore
-	addrChain map[mem.Addr]*sim.Future
+	buffer *sim.Semaphore
+	// addrChain serializes callbacks per address: line address → the
+	// done-future of the newest queued callback. Open-addressed — every
+	// callback inserts and deletes here.
+	addrChain flat.Table[*sim.Future]
 	seqChain  map[int]*sim.Future // per-morph sequential chain
 	loaded    map[int]uint64      // bitstream cache: morphID -> last use
 	tick      uint64
@@ -169,10 +173,9 @@ func New(k *sim.Kernel, cfg Config, tiles int, prog Program, meter *energy.Meter
 	e := &Engines{k: k, cfg: cfg, prog: prog, meter: meter}
 	for i := 0; i < tiles; i++ {
 		e.tiles = append(e.tiles, &engTile{
-			buffer:    sim.NewSemaphore(k, maxInt(cfg.CallbackBuffer, 1)),
-			addrChain: make(map[mem.Addr]*sim.Future),
-			seqChain:  make(map[int]*sim.Future),
-			loaded:    make(map[int]uint64),
+			buffer:   sim.NewSemaphore(k, maxInt(cfg.CallbackBuffer, 1)),
+			seqChain: make(map[int]*sim.Future),
+			loaded:   make(map[int]uint64),
 		})
 	}
 	return e
@@ -267,8 +270,8 @@ func (e *Engines) Run(tile int, kind hier.CallbackKind, b hier.Binding, addr mem
 		waitOn = t.seqChain[b.MorphID]
 		t.seqChain[b.MorphID] = done
 	} else {
-		waitOn = t.addrChain[addr]
-		t.addrChain[addr] = done
+		waitOn, _ = t.addrChain.Get(uint64(addr))
+		t.addrChain.Put(uint64(addr), done)
 	}
 
 	sched := e.k.Now()
@@ -306,8 +309,8 @@ func (e *Engines) Run(tile int, kind hier.CallbackKind, b hier.Binding, addr mem
 			if t.seqChain[b.MorphID] == done {
 				delete(t.seqChain, b.MorphID)
 			}
-		} else if t.addrChain[addr] == done {
-			delete(t.addrChain, addr)
+		} else if f, _ := t.addrChain.Get(uint64(addr)); f == done {
+			t.addrChain.Delete(uint64(addr))
 		}
 		done.Complete()
 	})

@@ -1,0 +1,216 @@
+// Package flat provides the purpose-built data structures on the
+// simulator's per-access hot path: an open-addressed hash table keyed by
+// uint64 with entries stored inline. Go's built-in map is general — it
+// hashes with runtime calls, boxes entries in buckets, and (for the
+// access-path use cases here: directory entries, MSHR locks, page
+// indexes) forces a pointer per entry to get a stable reference. Table
+// stores values inline in one contiguous slot array, probes linearly
+// from a multiplicative hash, and deletes without tombstones by
+// backward-shifting the displaced cluster, so long-lived tables churned
+// by insert/delete cycles (directory entries come and go with every
+// eviction) never degrade.
+//
+// The zero value is an empty, usable table. Tables are not safe for
+// concurrent use — the simulator's event kernel is single-threaded by
+// construction.
+//
+// Pointer validity: *V references returned by Ref, Put, and GetOrPut are
+// invalidated by the next Put, GetOrPut, or Delete (inserts may grow and
+// rehash; deletes backward-shift the cluster). Callers hold them only
+// across operations that do not mutate the table.
+package flat
+
+import "tako/internal/stats"
+
+// slot is one table entry. used distinguishes occupancy explicitly so
+// key 0 (a valid line address) needs no sentinel.
+type slot[V any] struct {
+	key  uint64
+	used bool
+	val  V
+}
+
+// Table is an open-addressed hash table from uint64 keys to inline V
+// values, with linear probing and tombstone-free deletion.
+type Table[V any] struct {
+	slots []slot[V] // power-of-two length
+	mask  uint64
+	shift uint // 64 - log2(len(slots)); home() uses the hash's high bits
+	n     int
+
+	// probes, when set, observes the probe length (slots examined) of
+	// every insert; stats.Histogram is nil-safe so the hot path pays
+	// only this field load when unset.
+	probes *stats.Histogram
+	// maxProbe tracks the worst insert displacement since creation.
+	maxProbe uint64
+}
+
+const minCap = 8
+
+// fibMul scrambles keys multiplicatively (Fibonacci hashing); line
+// addresses are highly regular (strided, low-entropy low bits), and the
+// high product bits diffuse them well.
+const fibMul = 0x9E3779B97F4A7C15
+
+// SetProbeStats attaches a histogram observing insert probe lengths.
+func (t *Table[V]) SetProbeStats(h *stats.Histogram) { t.probes = h }
+
+// Len returns the number of entries.
+func (t *Table[V]) Len() int { return t.n }
+
+// MaxProbe returns the longest insert probe sequence seen so far.
+func (t *Table[V]) MaxProbe() uint64 { return t.maxProbe }
+
+func (t *Table[V]) home(key uint64) uint64 {
+	return (key * fibMul) >> t.shift
+}
+
+// find returns the slot index holding key, or ok=false.
+func (t *Table[V]) find(key uint64) (uint64, bool) {
+	if t.n == 0 {
+		return 0, false
+	}
+	i := t.home(key)
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			return 0, false
+		}
+		if s.key == key {
+			return i, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Get returns the value stored under key.
+func (t *Table[V]) Get(key uint64) (V, bool) {
+	if i, ok := t.find(key); ok {
+		return t.slots[i].val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Ref returns a pointer to key's value, or nil if absent. See the
+// package comment for pointer validity.
+func (t *Table[V]) Ref(key uint64) *V {
+	if i, ok := t.find(key); ok {
+		return &t.slots[i].val
+	}
+	return nil
+}
+
+// Put stores v under key (replacing any existing value) and returns a
+// reference to the stored value.
+func (t *Table[V]) Put(key uint64, v V) *V {
+	ref, _ := t.GetOrPut(key, v)
+	*ref = v
+	return ref
+}
+
+// GetOrPut returns a reference to key's value, inserting def first if
+// the key is absent. existed reports whether the key was already
+// present (in which case def is ignored).
+func (t *Table[V]) GetOrPut(key uint64, def V) (ref *V, existed bool) {
+	if t.slots == nil {
+		t.init(minCap)
+	} else if (t.n+1)*4 > len(t.slots)*3 {
+		t.grow()
+	}
+	i := t.home(key)
+	probe := uint64(1)
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			s.key, s.used, s.val = key, true, def
+			t.n++
+			t.probes.Observe(probe)
+			if probe > t.maxProbe {
+				t.maxProbe = probe
+			}
+			return &s.val, false
+		}
+		if s.key == key {
+			return &s.val, true
+		}
+		i = (i + 1) & t.mask
+		probe++
+	}
+}
+
+// Delete removes key, reporting whether it was present. Deletion is
+// tombstone-free: the displaced tail of the probe cluster is shifted
+// back over the vacated slot, so lookups never scan dead slots and churn
+// (the directory's insert/delete cycle per line eviction) cannot degrade
+// the table.
+func (t *Table[V]) Delete(key uint64) bool {
+	i, ok := t.find(key)
+	if !ok {
+		return false
+	}
+	mask := t.mask
+	j := i
+	for {
+		j = (j + 1) & mask
+		s := &t.slots[j]
+		if !s.used {
+			break
+		}
+		// s lives at j but probes from home(s.key); it may fill the
+		// hole at i only if i lies on that probe path (cyclically in
+		// [home, j)), else lookups for it would stop early at i.
+		if h := t.home(s.key); (i-h)&mask < (j-h)&mask {
+			t.slots[i] = *s
+			i = j
+		}
+	}
+	t.slots[i] = slot[V]{} // clear value so V's references are collectable
+	t.n--
+	return true
+}
+
+// Range calls fn for every entry until fn returns false. Iteration
+// order is the (deterministic) slot order; fn must not mutate the table.
+func (t *Table[V]) Range(fn func(key uint64, v *V) bool) {
+	for i := range t.slots {
+		if t.slots[i].used && !fn(t.slots[i].key, &t.slots[i].val) {
+			return
+		}
+	}
+}
+
+// Reset drops every entry, keeping the allocated capacity.
+func (t *Table[V]) Reset() {
+	clear(t.slots)
+	t.n = 0
+}
+
+func (t *Table[V]) init(capacity int) {
+	t.slots = make([]slot[V], capacity)
+	t.mask = uint64(capacity - 1)
+	t.shift = 64
+	for c := capacity; c > 1; c >>= 1 {
+		t.shift--
+	}
+}
+
+// grow doubles capacity and reinserts every entry (probe lengths during
+// rehash are not observed; the histogram records steady-state inserts).
+func (t *Table[V]) grow() {
+	old := t.slots
+	t.init(len(old) * 2)
+	t.n = 0
+	for i := range old {
+		if !old[i].used {
+			continue
+		}
+		j := t.home(old[i].key)
+		for t.slots[j].used {
+			j = (j + 1) & t.mask
+		}
+		t.slots[j] = old[i]
+		t.n++
+	}
+}

@@ -1,0 +1,214 @@
+package flat
+
+import (
+	"math/rand"
+	"testing"
+
+	"tako/internal/stats"
+)
+
+// TestTableMatchesMapReference churns a Table and a map[uint64]uint64
+// through the same randomized insert/overwrite/delete/lookup sequence
+// and requires identical observable state throughout. Keys are drawn
+// from a small strided pool so the same key is inserted, deleted, and
+// re-inserted many times — the pattern that grows tombstone debt in
+// tombstone-based designs and exercises backward-shift deletion here.
+func TestTableMatchesMapReference(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42, 1234} {
+		rng := rand.New(rand.NewSource(seed))
+		var tbl Table[uint64]
+		ref := make(map[uint64]uint64)
+		keyPool := make([]uint64, 256)
+		for i := range keyPool {
+			// Strided line addresses (low entropy) plus a few scattered
+			// high keys, including 0 — a valid key, not a sentinel.
+			if i%8 == 0 {
+				keyPool[i] = rng.Uint64()
+			} else {
+				keyPool[i] = uint64(i) * 64
+			}
+		}
+		keyPool[0] = 0
+		for op := 0; op < 50000; op++ {
+			k := keyPool[rng.Intn(len(keyPool))]
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // insert/overwrite
+				v := rng.Uint64()
+				tbl.Put(k, v)
+				ref[k] = v
+			case 4, 5, 6: // delete
+				got := tbl.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					t.Fatalf("seed %d op %d: Delete(%#x)=%v, map says %v", seed, op, k, got, want)
+				}
+				delete(ref, k)
+			default: // lookup
+				got, ok := tbl.Get(k)
+				want, wok := ref[k]
+				if ok != wok || got != want {
+					t.Fatalf("seed %d op %d: Get(%#x)=(%d,%v), want (%d,%v)", seed, op, k, got, ok, want, wok)
+				}
+			}
+			if tbl.Len() != len(ref) {
+				t.Fatalf("seed %d op %d: Len=%d, map has %d", seed, op, tbl.Len(), len(ref))
+			}
+		}
+		// Full cross-check both directions at the end.
+		for k, want := range ref {
+			if got, ok := tbl.Get(k); !ok || got != want {
+				t.Fatalf("seed %d: final Get(%#x)=(%d,%v), want (%d,true)", seed, k, got, ok, want)
+			}
+		}
+		seen := 0
+		tbl.Range(func(k uint64, v *uint64) bool {
+			seen++
+			if want, ok := ref[k]; !ok || *v != want {
+				t.Fatalf("seed %d: Range yielded (%#x,%d) not in map", seed, k, *v)
+			}
+			return true
+		})
+		if seen != len(ref) {
+			t.Fatalf("seed %d: Range yielded %d entries, want %d", seed, seen, len(ref))
+		}
+	}
+}
+
+// TestTableRefStableAcrossReadOnlyOps verifies Ref/GetOrPut references
+// read and write through to the stored value while no mutation occurs.
+func TestTableRefStableAcrossReadOnlyOps(t *testing.T) {
+	var tbl Table[int]
+	ref, existed := tbl.GetOrPut(0x40, 7)
+	if existed || *ref != 7 {
+		t.Fatalf("GetOrPut insert: existed=%v val=%d", existed, *ref)
+	}
+	*ref = 11
+	if got, _ := tbl.Get(0x40); got != 11 {
+		t.Fatalf("write through ref lost: got %d", got)
+	}
+	ref2, existed := tbl.GetOrPut(0x40, 99)
+	if !existed || *ref2 != 11 {
+		t.Fatalf("GetOrPut existing: existed=%v val=%d", existed, *ref2)
+	}
+	if tbl.Ref(0x80) != nil {
+		t.Fatal("Ref of absent key not nil")
+	}
+}
+
+// TestTableBackwardShiftClusters deletes from the middle of forced
+// collision clusters (including wraparound past the last slot) and
+// verifies every surviving key stays reachable — the exact scenario
+// backward-shift deletion must handle.
+func TestTableBackwardShiftClusters(t *testing.T) {
+	var tbl Table[uint64]
+	// Build a dense table (just under the load limit) so clusters are
+	// long and wrap the slot array.
+	keys := make([]uint64, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		k := uint64(i) * 64
+		keys = append(keys, k)
+		tbl.Put(k, k+1)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for len(keys) > 0 {
+		i := rng.Intn(len(keys))
+		k := keys[i]
+		keys[i] = keys[len(keys)-1]
+		keys = keys[:len(keys)-1]
+		if !tbl.Delete(k) {
+			t.Fatalf("Delete(%#x) missed a live key", k)
+		}
+		if tbl.Delete(k) {
+			t.Fatalf("Delete(%#x) double-deleted", k)
+		}
+		// Every remaining key must still resolve.
+		for _, k2 := range keys {
+			if got, ok := tbl.Get(k2); !ok || got != k2+1 {
+				t.Fatalf("after deleting %#x: Get(%#x)=(%d,%v)", k, k2, got, ok)
+			}
+		}
+		if len(keys) > 64 {
+			// Spot-check pace: full verification of every prefix is
+			// quadratic; drop to sampling after the dense phase.
+			for n := 0; n < 60 && len(keys) > 0; n++ {
+				j := rng.Intn(len(keys))
+				k := keys[j]
+				keys[j] = keys[len(keys)-1]
+				keys = keys[:len(keys)-1]
+				if !tbl.Delete(k) {
+					t.Fatalf("Delete(%#x) missed a live key", k)
+				}
+			}
+		}
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("table not empty after deleting everything: %d", tbl.Len())
+	}
+}
+
+// TestTableProbeStats checks the probe-length histogram observes inserts.
+func TestTableProbeStats(t *testing.T) {
+	r := stats.NewRegistry()
+	h := r.Histogram("probe.len")
+	var tbl Table[int]
+	tbl.SetProbeStats(h)
+	for i := 0; i < 100; i++ {
+		tbl.Put(uint64(i)*64, i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("probe histogram saw %d inserts, want 100", h.Count())
+	}
+	if tbl.MaxProbe() == 0 {
+		t.Fatal("MaxProbe never recorded")
+	}
+}
+
+// TestTableReset verifies Reset empties the table but keeps it usable.
+func TestTableReset(t *testing.T) {
+	var tbl Table[int]
+	for i := 0; i < 100; i++ {
+		tbl.Put(uint64(i), i)
+	}
+	tbl.Reset()
+	if tbl.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", tbl.Len())
+	}
+	if _, ok := tbl.Get(5); ok {
+		t.Fatal("entry survived Reset")
+	}
+	tbl.Put(5, 50)
+	if got, _ := tbl.Get(5); got != 50 {
+		t.Fatal("table unusable after Reset")
+	}
+}
+
+// BenchmarkTableChurn measures the directory's steady-state pattern:
+// get-or-create, mutate, delete, over a strided working set.
+func BenchmarkTableChurn(b *testing.B) {
+	var tbl Table[uint64]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%4096) * 64
+		ref, _ := tbl.GetOrPut(k, 0)
+		*ref++
+		if i%2 == 1 {
+			tbl.Delete(k)
+		}
+	}
+}
+
+// BenchmarkMapChurn is the same pattern over the built-in map, for
+// before/after comparison in docs/performance.md.
+func BenchmarkMapChurn(b *testing.B) {
+	m := make(map[uint64]uint64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%4096) * 64
+		m[k]++
+		if i%2 == 1 {
+			delete(m, k)
+		}
+	}
+}

@@ -78,16 +78,16 @@ func (h *Hierarchy) StoreLineNT(p *sim.Proc, tileID int, a mem.Addr, line *mem.L
 	// flight under the lock may be about to install fresh sharers, and
 	// invalidating before it completes would let those copies survive
 	// the supersede and go stale.
-	unlock := h.lockHomeLine(p, la)
+	tok := h.lockHomeLine(p, la)
 	// A full-line store supersedes all cached copies.
-	if e, ok := h.dir[la]; ok {
+	if e := h.dir.get(la); e != nil {
 		for s := 0; s < h.cfg.Tiles; s++ {
 			if e.has(s) {
 				h.invalidatePrivate(s, la)
 				e.remove(s)
 			}
 		}
-		delete(h.dir, la)
+		h.dir.delete(la)
 	}
 	hm := h.tiles[home]
 	if ls3 := hm.l3.Lookup(la); ls3 != nil {
@@ -95,7 +95,7 @@ func (h *Hierarchy) StoreLineNT(p *sim.Proc, tileID int, a mem.Addr, line *mem.L
 		ls3.Dirty = true
 		h.Meter.Add(energy.L3Access, 1)
 	} else {
-		h.DRAM.WriteLine(la, line) // bypasses the cache entirely
+		h.DRAM.WriteLineNoWait(la, line) // bypasses the cache entirely
 	}
 	if h.obs != nil {
 		h.obs.LineStored(tileID, a, line, true)
@@ -103,7 +103,7 @@ func (h *Hierarchy) StoreLineNT(p *sim.Proc, tileID int, a mem.Addr, line *mem.L
 	h.event("nt.store")
 	h.hot.ntStores.Inc()
 	p.Sleep(h.Mesh.Transfer(tileID, home, mem.LineSize))
-	unlock()
+	h.unlockHomeLine(la, tok)
 }
 
 // AtomicAddLocal performs a read-modify-write add in the local cache
@@ -168,8 +168,7 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 	h.Meter.Add(energy.TLBAccess, 1)
 	for {
 		// Respect callback locks and in-flight fills on this line.
-		if f := t.pending[la]; f != nil {
-			p.Wait(f)
+		if t.pending.waitIfLocked(p, la) {
 			continue
 		}
 		top := t.l1
@@ -180,8 +179,7 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 		if !o.prefetch {
 			h.Meter.Add(energy.L1Access, 1)
 			p.Sleep(h.cfg.L1Latency)
-			if f := t.pending[la]; f != nil { // lock raced in during sleep
-				p.Wait(f)
+			if t.pending.waitIfLocked(p, la) { // lock raced in during sleep
 				continue
 			}
 			if ls := top.Lookup(a); ls != nil {
@@ -236,8 +234,7 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 		{
 			h.Meter.Add(energy.L2Access, 1)
 			p.Sleep(h.cfg.L2TagLat)
-			if f := t.pending[la]; f != nil {
-				p.Wait(f)
+			if t.pending.waitIfLocked(p, la) {
 				continue
 			}
 			if ls2 := t.l2.Lookup(a); ls2 != nil {
@@ -284,21 +281,19 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 		// Private-domain miss: allocate an MSHR (core accesses only;
 		// engines have dedicated slots so callbacks can always make
 		// progress, §5.2) and fetch.
-		if f := t.pending[la]; f != nil {
-			p.Wait(f)
+		if t.pending.waitIfLocked(p, la) {
 			continue
 		}
 		usedMSHR := !o.engine && !o.prefetch
 		if usedMSHR {
 			t.mshr.Acquire(p)
-			if f := t.pending[la]; f != nil {
+			if t.pending.locked(la) {
 				t.mshr.Release()
-				p.Wait(f)
+				t.pending.waitIfLocked(p, la)
 				continue
 			}
 		}
-		fut := sim.NewFuture(h.K)
-		t.pending[la] = fut
+		tok := t.pending.lock(la)
 		fetchStart := p.Now()
 		data, meta := h.fetchLine(p, tileID, a, o)
 		if h.tracer != nil {
@@ -333,18 +328,18 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 			top.ExtractLine(la)
 			t.l2.ExtractLine(la)
 			h.removeSharerIfNoCopies(tileID, la)
-			delete(t.pending, la)
+			lockFut := t.pending.unlock(la, tok)
 			if usedMSHR {
 				t.mshr.Release()
 			}
-			fut.Complete()
+			h.completeLock(lockFut)
 			continue
 		}
-		delete(t.pending, la)
+		lockFut := t.pending.unlock(la, tok)
 		if usedMSHR {
 			t.mshr.Release()
 		}
-		fut.Complete()
+		h.completeLock(lockFut)
 		if o.prefetch {
 			return t.l2.Lookup(a)
 		}
@@ -394,22 +389,21 @@ func (h *Hierarchy) checkEngineRestriction(tileID int, a mem.Addr, o accessOpts)
 }
 
 // lockHomeLine serializes with all home-side operations on la (fetches,
-// RMOs, other upgrades), returning the unlock function.
-func (h *Hierarchy) lockHomeLine(p *sim.Proc, la mem.Addr) func() {
+// RMOs, other upgrades), returning the token to pass to unlockHomeLine.
+// Token-in/token-out (rather than a returned unlock closure) keeps this
+// per-access path allocation-free.
+func (h *Hierarchy) lockHomeLine(p *sim.Proc, la mem.Addr) uint64 {
 	hm := h.tiles[h.HomeTile(la)]
-	for {
-		f := hm.l3pending[la]
-		if f == nil {
-			break
-		}
-		p.Wait(f)
+	for hm.l3pending.waitIfLocked(p, la) {
 	}
-	fut := sim.NewFuture(h.K)
-	hm.l3pending[la] = fut
-	return func() {
-		delete(hm.l3pending, la)
-		fut.Complete()
-	}
+	return hm.l3pending.lock(la)
+}
+
+// unlockHomeLine releases the home-line lock taken by lockHomeLine and
+// wakes any queued waiters.
+func (h *Hierarchy) unlockHomeLine(la mem.Addr, tok uint64) {
+	hm := h.tiles[h.HomeTile(la)]
+	h.completeLock(hm.l3pending.unlock(la, tok))
 }
 
 // upgrade obtains write permission for la on tileID: if other tiles hold
@@ -418,10 +412,10 @@ func (h *Hierarchy) lockHomeLine(p *sim.Proc, la mem.Addr) func() {
 // that is still in flight, and its copy must be visible for invalidation
 // before ownership changes hands.
 func (h *Hierarchy) upgrade(p *sim.Proc, tileID int, la mem.Addr) {
-	unlock := h.lockHomeLine(p, la)
-	defer unlock()
-	e, ok := h.dir[la]
-	if !ok || e.owner == tileID {
+	tok := h.lockHomeLine(p, la)
+	defer h.unlockHomeLine(la, tok)
+	e := h.dir.get(la)
+	if e == nil || e.owner == tileID {
 		return
 	}
 	if e.sharers == 1<<uint(tileID) {
@@ -447,7 +441,9 @@ func (h *Hierarchy) upgrade(p *sim.Proc, tileID int, la mem.Addr) {
 			if ls3 := hm.l3.Lookup(la); ls3 != nil {
 				ls3.Data = data
 				ls3.Dirty = true
-				h.debugLogHome(la, fmt.Sprintf("upgrade-merge(from=%d)", s), data.U64(16))
+				if h.freshChecks {
+					h.debugLogHome(la, fmt.Sprintf("upgrade-merge(from=%d)", s), data.U64(16))
+				}
 			}
 		}
 		lat := h.Mesh.Transfer(home, s, 8) + h.Mesh.Transfer(s, home, 8)
@@ -458,7 +454,9 @@ func (h *Hierarchy) upgrade(p *sim.Proc, tileID int, la mem.Addr) {
 	}
 	e.add(tileID)
 	e.owner = tileID
-	h.debugLogHome(la, fmt.Sprintf("upgrade-grant(%d)", tileID), 0)
+	if h.freshChecks {
+		h.debugLogHome(la, fmt.Sprintf("upgrade-grant(%d)", tileID), 0)
+	}
 	h.debugCheckFresh(tileID, la, "upgrade")
 	h.event("upgrade")
 	p.Sleep(h.Mesh.Latency(tileID, home, 8) + maxLat + h.Mesh.Latency(home, tileID, 8))
@@ -471,21 +469,25 @@ func (h *Hierarchy) fetchLine(p *sim.Proc, tileID int, a mem.Addr, o accessOpts)
 	la := a.Line()
 	if h.registry != nil {
 		if b, ok := h.registry.Binding(a); ok && b.Level == LevelPrivate {
-			var line mem.Line
+			// Pooled buffer: the runner interface call would make a
+			// stack local escape per private Morph miss.
+			buf := h.getLineBuf()
 			if !b.Phantom {
 				// Real-address Morph: read backing data (the
 				// paper overlaps this with the callback; we
 				// serialize, see DESIGN.md).
-				line = h.fetchFromHome(p, tileID, a, o)
+				*buf = h.fetchFromHome(p, tileID, a, o)
 			} else {
 				h.PhantomMissFills++
 			}
 			if b.HasMiss && h.runner != nil {
 				h.hot.cb[CbMiss].Inc()
 				h.Trace(h.comp.l2[tileID], "cb.onMiss", la.String())
-				_, done := h.runner.Run(tileID, CbMiss, b, la, &line)
+				_, done := h.runner.Run(tileID, CbMiss, b, la, buf)
 				p.Wait(done)
 			}
+			line := *buf
+			h.putLineBuf(buf)
 			return line, fillMeta{morph: true, phantom: b.Phantom, dirty: o.write}
 		}
 	}
@@ -511,21 +513,9 @@ func (h *Hierarchy) fetchFromHome(p *sim.Proc, tileID int, a mem.Addr, o accessO
 		}()
 	}
 	p.Sleep(h.Mesh.Transfer(tileID, home, 8))
-	for {
-		f := hm.l3pending[la]
-		if f == nil {
-			break
-		}
-		p.Wait(f)
+	for hm.l3pending.waitIfLocked(p, la) {
 	}
-	fut := sim.NewFuture(h.K)
-	hm.l3pending[la] = fut
-	release := func() {
-		if hm.l3pending[la] == fut {
-			delete(hm.l3pending, la)
-		}
-		fut.Complete()
-	}
+	tok := hm.l3pending.lock(la)
 
 	h.Meter.Add(energy.L3Access, 1)
 	p.Sleep(h.cfg.L3TagLat)
@@ -534,7 +524,10 @@ func (h *Hierarchy) fetchFromHome(p *sim.Proc, tileID int, a mem.Addr, o accessO
 		hm.l3.Stats.Misses++
 		h.hot.l3Misses.Inc()
 		spanKind = "l3.miss"
-		var line mem.Line
+		// Pooled fill buffer: the line is threaded through interface
+		// calls (DRAM, Morph runner), so a stack local would escape on
+		// every miss.
+		line := h.getLineBuf()
 		// Engine fills and prefetched lines insert at distant
 		// re-reference priority in the shared cache (trrîp, §5.2):
 		// streamed-once data should not displace reused lines.
@@ -545,13 +538,12 @@ func (h *Hierarchy) fetchFromHome(p *sim.Proc, tileID int, a mem.Addr, o accessO
 				if b.Phantom {
 					h.PhantomMissFills++
 				} else {
-					f := h.DRAM.ReadLine(la, &line)
-					p.Wait(f)
+					h.DRAM.ReadLineWait(p, la, line)
 				}
 				if b.HasMiss && h.runner != nil {
 					h.hot.cb[CbMiss].Inc()
 					h.Trace(h.comp.l3[home], "cb.onMiss", la.String())
-					_, done := h.runner.Run(home, CbMiss, b, la, &line)
+					_, done := h.runner.Run(home, CbMiss, b, la, line)
 					p.Wait(done)
 				}
 				meta.morph, meta.phantom = true, b.Phantom
@@ -563,10 +555,9 @@ func (h *Hierarchy) fetchFromHome(p *sim.Proc, tileID int, a mem.Addr, o accessO
 			}
 		}
 		if !handled {
-			f := h.DRAM.ReadLine(la, &line)
-			p.Wait(f)
+			h.DRAM.ReadLineWait(p, la, line)
 		}
-		for !h.insertL3(home, a, &line, meta) {
+		for !h.insertL3(home, a, line, meta) {
 			p.Sleep(1)
 		}
 		ls3 = hm.l3.Lookup(a)
@@ -575,14 +566,16 @@ func (h *Hierarchy) fetchFromHome(p *sim.Proc, tileID int, a mem.Addr, o accessO
 			// we fetched without caching it. The home line stays
 			// locked until the response lands so no other writer
 			// can race the in-flight data.
-			data := line
+			data := *line
+			h.putLineBuf(line)
 			if merged := h.dirAction(p, tileID, la, o, nil); merged != nil {
 				data = *merged
 			}
 			p.Sleep(h.Mesh.Transfer(home, tileID, mem.LineSize))
-			release()
+			h.completeLock(hm.l3pending.unlock(la, tok))
 			return data
 		}
+		h.putLineBuf(line)
 	} else {
 		hm.l3.Stats.Hits++
 		h.hot.l3Hits.Inc()
@@ -601,7 +594,7 @@ func (h *Hierarchy) fetchFromHome(p *sim.Proc, tileID int, a mem.Addr, o accessO
 	// install the copy.
 	p.Sleep(h.Mesh.Transfer(home, tileID, mem.LineSize))
 	ls3.Locked = false
-	release()
+	h.completeLock(hm.l3pending.unlock(la, tok))
 	return data
 }
 
@@ -615,17 +608,6 @@ func (h *Hierarchy) dirAction(p *sim.Proc, tileID int, la mem.Addr, o accessOpts
 	home := h.HomeTile(la)
 	e := h.dirOf(la)
 	var extra sim.Cycle
-	applyDirty := func(data mem.Line, site string) {
-		if ls3 != nil {
-			ls3.Data = data
-			ls3.Dirty = true
-		} else {
-			h.DRAM.WriteLine(la, &data)
-		}
-		d := data
-		merged = &d
-		h.debugLogHome(la, site, data.U64(16))
-	}
 	if o.write {
 		for s := 0; s < h.cfg.Tiles; s++ {
 			if s == tileID || !e.has(s) {
@@ -635,7 +617,11 @@ func (h *Hierarchy) dirAction(p *sim.Proc, tileID int, la mem.Addr, o accessOpts
 			if present {
 				h.hot.cohInvalidations.Inc()
 				if dirty {
-					applyDirty(data, fmt.Sprintf("dirAction-inval-merge(from=%d)", s))
+					site := ""
+					if h.freshChecks {
+						site = fmt.Sprintf("dirAction-inval-merge(from=%d)", s)
+					}
+					merged = h.applyDirtyMerge(ls3, la, data, site)
 				}
 				lat := h.Mesh.Transfer(home, s, 8) + h.Mesh.Transfer(s, home, 8)
 				if lat > extra {
@@ -646,12 +632,18 @@ func (h *Hierarchy) dirAction(p *sim.Proc, tileID int, la mem.Addr, o accessOpts
 		}
 		e.add(tileID)
 		e.owner = tileID
-		h.debugLogHome(la, fmt.Sprintf("dirAction-write-grant(req=%d)", tileID), 0)
+		if h.freshChecks {
+			h.debugLogHome(la, fmt.Sprintf("dirAction-write-grant(req=%d)", tileID), 0)
+		}
 	} else {
 		if e.owner >= 0 && e.owner != tileID {
 			data, dirty := h.downgradeOwner(e.owner, la)
 			if dirty {
-				applyDirty(data, fmt.Sprintf("dirAction-downgrade(owner=%d,req=%d)", e.owner, tileID))
+				site := ""
+				if h.freshChecks {
+					site = fmt.Sprintf("dirAction-downgrade(owner=%d,req=%d)", e.owner, tileID)
+				}
+				merged = h.applyDirtyMerge(ls3, la, data, site)
 			}
 			h.hot.cohDowngrades.Inc()
 			extra = h.Mesh.Transfer(home, e.owner, 8) + h.Mesh.Transfer(e.owner, home, mem.LineSize)
@@ -664,4 +656,34 @@ func (h *Hierarchy) dirAction(p *sim.Proc, tileID int, la mem.Addr, o accessOpts
 		p.Sleep(extra)
 	}
 	return merged
+}
+
+// applyDirtyMerge applies dirty data recovered from a private copy to the
+// home line (or memory when the fill bypassed the L3) and returns a copy
+// so the requester still observes the update. site is the pre-formatted
+// freshness-log label ("" when fresh checks are off).
+func (h *Hierarchy) applyDirtyMerge(ls3 *cache.LineState, la mem.Addr, data mem.Line, site string) *mem.Line {
+	if ls3 != nil {
+		ls3.Data = data
+		ls3.Dirty = true
+	} else {
+		h.DRAM.WriteLineNoWait(la, &data)
+	}
+	d := data
+	if h.freshChecks {
+		h.debugLogHome(la, site, data.U64(16))
+	}
+	return &d
+}
+
+// completeLock wakes the waiters parked on a released line lock (nil when
+// none materialized) and recycles the pool-originated future. Futures
+// stored by lockWith (callback locks, which escape to flush waiters) come
+// from NewFuture and are left untouched by the recycler.
+func (h *Hierarchy) completeLock(f *sim.Future) {
+	if f == nil {
+		return
+	}
+	f.Complete()
+	h.K.RecycleFuture(f)
 }

@@ -13,8 +13,8 @@ import (
 // for configs built by DefaultConfig with SetVerifyDefaults.
 
 func (h *Hierarchy) debugDir(la mem.Addr) string {
-	e, ok := h.dir[la]
-	if !ok {
+	e := h.dir.get(la)
+	if e == nil {
 		return "dir{}"
 	}
 	return fmt.Sprintf("dir{sharers=%b owner=%d}", e.sharers, e.owner)

@@ -23,21 +23,18 @@ func (e *dirEntry) remove(tile int)   { e.sharers &^= 1 << uint(tile) }
 func (e *dirEntry) empty() bool       { return e.sharers == 0 }
 
 // dirOf returns (creating if needed) the directory entry for line la.
+// The pointer follows dirTable's validity rule: use it before the next
+// directory create or delete.
 func (h *Hierarchy) dirOf(la mem.Addr) *dirEntry {
-	e, ok := h.dir[la]
-	if !ok {
-		e = &dirEntry{owner: -1}
-		h.dir[la] = e
-	}
-	return e
+	return h.dir.getOrCreate(la)
 }
 
 // hasExclusive reports whether tile may write la without a coherence
 // transaction: it is the registered owner, or the line is untracked
 // (private phantom lines never enter the directory).
 func (h *Hierarchy) hasExclusive(tileID int, la mem.Addr) bool {
-	e, ok := h.dir[la]
-	if !ok {
+	e := h.dir.get(la)
+	if e == nil {
 		return true
 	}
 	return e.owner == tileID
@@ -99,8 +96,8 @@ func (h *Hierarchy) downgradeOwner(tileID int, la mem.Addr) (data mem.Line, dirt
 // grant and the private-side install: a concurrent invalidation cannot
 // see (or recall) a line that is in flight between caches.
 func (h *Hierarchy) dirStillGrants(tileID int, la mem.Addr, write bool) bool {
-	e, ok := h.dir[la]
-	if !ok || !e.has(tileID) {
+	e := h.dir.get(la)
+	if e == nil || !e.has(tileID) {
 		return false
 	}
 	return !write || e.owner == tileID
@@ -109,8 +106,8 @@ func (h *Hierarchy) dirStillGrants(tileID int, la mem.Addr, write bool) bool {
 // removeSharerIfNoCopies drops tile from la's sharer set once its private
 // domain holds no copy, deleting empty entries.
 func (h *Hierarchy) removeSharerIfNoCopies(tileID int, la mem.Addr) {
-	e, ok := h.dir[la]
-	if !ok {
+	e := h.dir.get(la)
+	if e == nil {
 		return
 	}
 	t := h.tiles[tileID]
@@ -123,9 +120,12 @@ func (h *Hierarchy) removeSharerIfNoCopies(tileID int, la mem.Addr) {
 	if e.owner == tileID {
 		e.owner = -1
 	}
-	h.debugLogHome(la, fmt.Sprintf("removeSharer(%d)", tileID), 0)
-	if e.empty() {
-		delete(h.dir, la)
+	empty := e.empty()
+	if h.freshChecks {
+		h.debugLogHome(la, fmt.Sprintf("removeSharer(%d)", tileID), 0)
+	}
+	if empty {
+		h.dir.delete(la)
 	}
 }
 
@@ -135,7 +135,7 @@ func (h *Hierarchy) removeSharerIfNoCopies(tileID int, la mem.Addr) {
 func (h *Hierarchy) DebugReadWord(a mem.Addr) uint64 {
 	la := a.Line()
 	off := a.Offset() &^ 7
-	if e, ok := h.dir[la]; ok && e.owner >= 0 {
+	if e := h.dir.get(la); e != nil && e.owner >= 0 {
 		t := h.tiles[e.owner]
 		for _, c := range t.privateCaches() {
 			if ls := c.Lookup(la); ls != nil && ls.Dirty {

@@ -48,8 +48,7 @@ func (h *Hierarchy) flushPrivate(p *sim.Proc, tileID int, region mem.Region, fut
 		}
 		progressed := false
 		for _, la := range lines {
-			if f := t.pending[la]; f != nil {
-				p.Wait(f)
+			if t.pending.waitIfLocked(p, la) {
 				continue
 			}
 			ls, ok := t.l2.ExtractLine(la)
@@ -91,8 +90,7 @@ func (h *Hierarchy) flushBank(p *sim.Proc, bankID int, region mem.Region, futs *
 		}
 		progressed := false
 		for _, la := range lines {
-			if f := hm.l3pending[la]; f != nil {
-				p.Wait(f)
+			if hm.l3pending.waitIfLocked(p, la) {
 				continue
 			}
 			ls, ok := hm.l3.ExtractLine(la)
@@ -119,15 +117,15 @@ func (h *Hierarchy) InvalidateRegion(p *sim.Proc, region mem.Region) {
 		for _, c := range t.privateCaches() {
 			for _, la := range c.LinesInRegion(region) {
 				if ls, ok := c.ExtractLine(la); ok && ls.Dirty {
-					h.DRAM.WriteLine(la, &ls.Data)
+					h.DRAM.WriteLineNoWait(la, &ls.Data)
 				}
 			}
 		}
 		for _, la := range t.l3.LinesInRegion(region) {
 			if ls, ok := t.l3.ExtractLine(la); ok {
-				delete(h.dir, la)
+				h.dir.delete(la)
 				if ls.Dirty {
-					h.DRAM.WriteLine(la, &ls.Data)
+					h.DRAM.WriteLineNoWait(la, &ls.Data)
 				}
 			}
 		}

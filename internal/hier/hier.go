@@ -256,9 +256,9 @@ type tile struct {
 	// pending serializes private-domain line operations: in-flight L2
 	// fills and callback locks. Accesses finding an entry wait, then
 	// retry.
-	pending map[mem.Addr]*sim.Future
+	pending lockTable
 	// l3pending serializes home-bank operations on a line.
-	l3pending map[mem.Addr]*sim.Future
+	l3pending lockTable
 
 	rmoInflight *sim.WaitGroup
 
@@ -281,7 +281,7 @@ type Hierarchy struct {
 	registry Registry
 	runner   Runner
 	tiles    []*tile
-	dir      map[mem.Addr]*dirEntry
+	dir      dirTable
 
 	// cbInflight tracks all in-flight eviction/writeback callbacks so
 	// FlushRegion can block until every callback completes (§4.4).
@@ -311,6 +311,40 @@ type Hierarchy struct {
 	LoadLat stats.Dist
 	// Phantom DRAM-avoidance accounting.
 	PhantomMissFills uint64
+
+	// Pre-bound spawn bodies for the hot asynchronous paths (prefetch
+	// issue, writeback timing) and the victim-avoid hook: built once in
+	// New so Kernel.GoArgs / ChooseVictim sites don't allocate a closure
+	// per event.
+	prefetchFn  func(p *sim.Proc, a0, a1 uint64)
+	wbTimingFn  func(p *sim.Proc, a0, a1 uint64)
+	protectedFn func(tag mem.Addr) bool
+
+	// lineBufs pools fill-buffer lines for the miss paths: the buffer is
+	// threaded through interface calls (DRAM read, Morph runner), which
+	// makes a stack local escape on every miss. Buffers are handed out
+	// zeroed, used by exactly one running proc, and returned on exit.
+	lineBufs []*mem.Line
+}
+
+// getLineBuf returns a zeroed line buffer (semantics of `var line
+// mem.Line`) from the pool.
+func (h *Hierarchy) getLineBuf() *mem.Line {
+	if n := len(h.lineBufs); n > 0 {
+		b := h.lineBufs[n-1]
+		h.lineBufs[n-1] = nil
+		h.lineBufs = h.lineBufs[:n-1]
+		*b = mem.Line{}
+		return b
+	}
+	return new(mem.Line)
+}
+
+// putLineBuf returns a buffer whose contents have been copied out.
+func (h *Hierarchy) putLineBuf(b *mem.Line) {
+	if len(h.lineBufs) < 64 {
+		h.lineBufs = append(h.lineBufs, b)
+	}
 }
 
 // New builds a hierarchy. registry and runner may be nil (no Morphs).
@@ -330,7 +364,6 @@ func New(k *sim.Kernel, cfg Config, meter *energy.Meter, registry Registry, runn
 		cfg:        cfg,
 		registry:   registry,
 		runner:     runner,
-		dir:        make(map[mem.Addr]*dirEntry),
 		cbInflight: sim.NewWaitGroup(k),
 		homeLog:    make(map[mem.Addr][]string),
 		Metrics:    stats.NewRegistry(),
@@ -340,6 +373,28 @@ func New(k *sim.Kernel, cfg Config, meter *energy.Meter, registry Registry, runn
 	h.DRAM.AttachMetrics(h.Metrics, cfg.SamplePeriod)
 	h.Mesh.AttachMetrics(h.Metrics)
 	h.freshChecks = cfg.FreshChecks
+	h.prefetchFn = func(p *sim.Proc, a0, a1 uint64) {
+		h.access(p, int(a0), mem.Addr(a1), accessOpts{prefetch: true})
+		h.tiles[a0].prefetchInflight--
+	}
+	h.wbTimingFn = func(p *sim.Proc, a0, a1 uint64) {
+		t := h.tiles[a0]
+		t.wbbuf.Acquire(p)
+		p.Sleep(h.Mesh.Transfer(int(a0), int(a1), mem.LineSize))
+		t.wbbuf.Release()
+	}
+	if registry != nil {
+		h.protectedFn = func(tag mem.Addr) bool {
+			b, ok := h.registry.Binding(tag)
+			return ok && b.Protected != nil && b.Protected(tag)
+		}
+	}
+	// Probe-length distributions for the open-addressed tables (observed
+	// on insert): degraded hashing shows up here before it shows up in
+	// wall-clock time.
+	h.dir.tbl.SetProbeStats(h.Metrics.Histogram("dir.probe.len"))
+	mshrProbes := h.Metrics.Histogram("mshr.probe.len")
+	homeProbes := h.Metrics.Histogram("mshr.home.probe.len")
 	bankShift := log2(cfg.Tiles)
 	for i := 0; i < cfg.Tiles; i++ {
 		t := &tile{
@@ -363,8 +418,6 @@ func New(k *sim.Kernel, cfg Config, meter *energy.Meter, registry Registry, runn
 			mshr:        sim.NewSemaphore(k, cfg.MSHRsPerTile),
 			wbbuf:       sim.NewSemaphore(k, cfg.WBBufPerTile),
 			rmo:         sim.NewSemaphore(k, max(cfg.RMOLimit, 1)),
-			pending:     make(map[mem.Addr]*sim.Future),
-			l3pending:   make(map[mem.Addr]*sim.Future),
 			rmoInflight: sim.NewWaitGroup(k),
 			rtlb:        tlb.New(cfg.RTLB),
 			// 2 MB pages: täkō's phantom ranges make huge pages
@@ -374,6 +427,10 @@ func New(k *sim.Kernel, cfg Config, meter *energy.Meter, registry Registry, runn
 				HitLatency: 0, WalkLatency: 30,
 			}),
 		}
+		t.pending.init(k)
+		t.l3pending.init(k)
+		t.pending.tbl.SetProbeStats(mshrProbes)
+		t.l3pending.tbl.SetProbeStats(homeProbes)
 		h.tiles = append(h.tiles, t)
 	}
 	return h

@@ -117,7 +117,7 @@ func (h *Hierarchy) morphEvictPrivate(tileID int, ev cache.LineState, b Binding,
 	h.hot.cb[kind].Inc()
 	h.Trace(h.comp.l2[tileID], "cb."+kind.String(), la.String())
 	lock := sim.NewFuture(h.K)
-	t.pending[la] = lock
+	tok := t.pending.lockWith(la, lock)
 	if futs != nil {
 		*futs = append(*futs, lock)
 	}
@@ -129,7 +129,7 @@ func (h *Hierarchy) morphEvictPrivate(tileID int, ev cache.LineState, b Binding,
 		p.Wait(accepted)
 		t.wbbuf.Release()
 		p.Wait(done)
-		delete(t.pending, la)
+		t.pending.unlock(la, tok)
 		lock.Complete()
 		h.cbInflight.Done()
 	})
@@ -144,23 +144,20 @@ func (h *Hierarchy) writebackToShared(tileID int, la mem.Addr, data mem.Line) {
 	if ls3 := hm.l3.Lookup(la); ls3 != nil {
 		ls3.Data = data
 		ls3.Dirty = true
-		h.debugLogHome(la, fmt.Sprintf("writebackToShared(from=%d)", tileID), data.U64(16))
+		if h.freshChecks {
+			h.debugLogHome(la, fmt.Sprintf("writebackToShared(from=%d)", tileID), data.U64(16))
+		}
 	} else {
-		h.DRAM.WriteLine(la, &data)
+		h.DRAM.WriteLineNoWait(la, &data)
 	}
-	if e, ok := h.dir[la]; ok && e.owner == tileID {
+	if e := h.dir.get(la); e != nil && e.owner == tileID {
 		e.owner = -1
 	}
 	h.removeSharerIfNoCopies(tileID, la)
 	h.event("l2.writeback")
 	h.hot.l2Writebacks.Inc()
 	h.Meter.Add(energy.L3Access, 1)
-	t := h.tiles[tileID]
-	h.K.Go("wb-timing", func(p *sim.Proc) {
-		t.wbbuf.Acquire(p)
-		p.Sleep(h.Mesh.Transfer(tileID, home, mem.LineSize))
-		t.wbbuf.Release()
-	})
+	h.K.GoArgs("wb-timing", h.wbTimingFn, uint64(tileID), uint64(home))
 }
 
 // insertL3 installs a line into its home bank (tile homeID), handling
@@ -195,7 +192,7 @@ func (h *Hierarchy) insertL3(homeID int, a mem.Addr, data *mem.Line, meta fillMe
 // SHARED Morph callback if registered, write dirty data to memory.
 func (h *Hierarchy) handleL3Eviction(homeID int, ev cache.LineState, futs *[]*sim.Future) {
 	la := ev.Tag
-	if e, ok := h.dir[la]; ok {
+	if e := h.dir.get(la); e != nil {
 		for s := 0; s < h.cfg.Tiles; s++ {
 			if !e.has(s) {
 				continue
@@ -215,7 +212,7 @@ func (h *Hierarchy) handleL3Eviction(homeID int, ev cache.LineState, futs *[]*si
 				h.Mesh.Transfer(s, homeID, bytes)
 			}
 		}
-		delete(h.dir, la)
+		h.dir.delete(la)
 	}
 	if ev.Morph && h.registry != nil {
 		if b, ok := h.registry.Binding(la); ok {
@@ -228,7 +225,7 @@ func (h *Hierarchy) handleL3Eviction(homeID int, ev cache.LineState, futs *[]*si
 	}
 	if ev.Dirty {
 		h.hot.l3Writebacks.Inc()
-		h.DRAM.WriteLine(la, &ev.Data) // timing tracked inside DRAM
+		h.DRAM.WriteLineNoWait(la, &ev.Data) // timing tracked inside DRAM
 	}
 }
 
@@ -242,7 +239,7 @@ func (h *Hierarchy) morphEvictShared(homeID int, ev cache.LineState, b Binding, 
 		kind, has = CbWriteback, b.HasWriteback
 	}
 	if !b.Phantom && ev.Dirty {
-		h.DRAM.WriteLine(la, &ev.Data)
+		h.DRAM.WriteLineNoWait(la, &ev.Data)
 	}
 	if !has || h.runner == nil {
 		h.hot.cbSkipped.Inc()
@@ -260,9 +257,10 @@ func (h *Hierarchy) morphEvictShared(homeID int, ev cache.LineState, b Binding, 
 	// fetch re-materializing the line (and accepting stores) before the
 	// writeback callback ran would have its updates clobbered when the
 	// callback finally persisted the older evicted data.
-	locked := hm.l3pending[la] == nil
+	var tok uint64
+	locked := !hm.l3pending.locked(la)
 	if locked {
-		hm.l3pending[la] = lock
+		tok = hm.l3pending.lockWith(la, lock)
 	}
 	h.cbInflight.Add(1)
 	h.K.Go(fmt.Sprintf("l3evict-cb@%d", homeID), func(p *sim.Proc) {
@@ -270,23 +268,16 @@ func (h *Hierarchy) morphEvictShared(homeID int, ev cache.LineState, b Binding, 
 			// An in-flight home-side operation held the line at
 			// eviction time; queue politely behind it rather than
 			// clobbering its lock.
-			for {
-				f := hm.l3pending[la]
-				if f == nil {
-					break
-				}
-				p.Wait(f)
+			for hm.l3pending.waitIfLocked(p, la) {
 			}
-			hm.l3pending[la] = lock
+			tok = hm.l3pending.lockWith(la, lock)
 		}
 		hm.wbbuf.Acquire(p)
 		accepted, done := h.runner.Run(homeID, kind, b, la, &data)
 		p.Wait(accepted)
 		hm.wbbuf.Release()
 		p.Wait(done)
-		if hm.l3pending[la] == lock {
-			delete(hm.l3pending, la)
-		}
+		hm.l3pending.unlock(la, tok)
 		lock.Complete()
 		h.cbInflight.Done()
 	})
@@ -336,15 +327,10 @@ func (h *Hierarchy) fillTop(tileID int, a mem.Addr, data *mem.Line, meta fillMet
 	}
 }
 
-// protectedHint builds the victim-selection Avoid hook from Morph
-// replacement hints (the onReplacement extension, §4.5). Returns nil when
-// no registry is attached.
+// protectedHint returns the victim-selection Avoid hook from Morph
+// replacement hints (the onReplacement extension, §4.5) — pre-built in
+// New, nil when no registry is attached — so insert paths don't allocate
+// a closure per fill.
 func (h *Hierarchy) protectedHint() func(mem.Addr) bool {
-	if h.registry == nil {
-		return nil
-	}
-	return func(tag mem.Addr) bool {
-		b, ok := h.registry.Binding(tag)
-		return ok && b.Protected != nil && b.Protected(tag)
-	}
+	return h.protectedFn
 }

@@ -93,13 +93,16 @@ func (h *Hierarchy) checkMorphBits(t *tile) error {
 // checkDirectory validates directory entries against the actual cache
 // contents of every private domain.
 func (h *Hierarchy) checkDirectory() error {
-	for la, e := range h.dir {
+	var dirErr error
+	h.dir.forEach(func(la mem.Addr, e *dirEntry) bool {
 		if e.sharers>>uint(h.cfg.Tiles) != 0 {
-			return fmt.Errorf("hier: dir %v sharer mask %b has bits beyond %d tiles",
+			dirErr = fmt.Errorf("hier: dir %v sharer mask %b has bits beyond %d tiles",
 				la, e.sharers, h.cfg.Tiles)
+			return false
 		}
 		if e.owner >= 0 && !e.has(e.owner) {
-			return fmt.Errorf("hier: dir %v owner %d not in sharer mask %b", la, e.owner, e.sharers)
+			dirErr = fmt.Errorf("hier: dir %v owner %d not in sharer mask %b", la, e.owner, e.sharers)
+			return false
 		}
 		home := h.tiles[h.HomeTile(la)]
 		ls3 := home.l3.Lookup(la)
@@ -116,22 +119,29 @@ func (h *Hierarchy) checkDirectory() error {
 					continue
 				}
 				if !e.has(tid) {
-					return fmt.Errorf("hier: tile %d caches dir-tracked line %v (%s) without a sharer bit (%s)",
+					dirErr = fmt.Errorf("hier: tile %d caches dir-tracked line %v (%s) without a sharer bit (%s)",
 						tid, la, c.Config().Name, h.debugDir(la))
+					return false
 				}
 				if ls.Dirty && e.owner != tid {
-					return fmt.Errorf("hier: tile %d holds dirty %v in %s but owner is %d\nhistory: %v",
+					dirErr = fmt.Errorf("hier: tile %d holds dirty %v in %s but owner is %d\nhistory: %v",
 						tid, la, c.Config().Name, e.owner, h.DebugHomeHistory(la))
+					return false
 				}
 				// Freshness: a clean copy in a domain with no dirty
 				// truth of its own must match home (debugcheck.go's
 				// per-access assertion, applied globally).
 				if !domainDirty && ls3 != nil && ls.Data != ls3.Data {
-					return fmt.Errorf("hier: stale copy of %v in tile %d %s: local=%v home=%v\nhistory: %v",
+					dirErr = fmt.Errorf("hier: stale copy of %v in tile %d %s: local=%v home=%v\nhistory: %v",
 						la, tid, c.Config().Name, ls.Data, ls3.Data, h.DebugHomeHistory(la))
+					return false
 				}
 			}
 		}
+		return true
+	})
+	if dirErr != nil {
+		return dirErr
 	}
 	// The inverse direction: every private copy of a coherence-tracked
 	// line has a directory entry. Lines bound to a PRIVATE phantom Morph
@@ -148,8 +158,8 @@ func (h *Hierarchy) checkDirectory() error {
 						return
 					}
 				}
-				e, ok := h.dir[l.Tag]
-				if !ok || !e.has(tid) {
+				e := h.dir.get(l.Tag)
+				if e == nil || !e.has(tid) {
 					err = fmt.Errorf("hier: tile %d caches untracked line %v (%s), dir=%s",
 						tid, l.Tag, c.Config().Name, h.debugDir(l.Tag))
 				}
@@ -165,8 +175,8 @@ func (h *Hierarchy) checkDirectory() error {
 // DirSharers returns la's directory sharer mask and owner (-1 when
 // unowned or untracked); exposed for verification harnesses.
 func (h *Hierarchy) DirSharers(la mem.Addr) (sharers uint64, owner int) {
-	e, ok := h.dir[la]
-	if !ok {
+	e := h.dir.get(la)
+	if e == nil {
 		return 0, -1
 	}
 	return e.sharers, e.owner

@@ -72,13 +72,10 @@ func (h *Hierarchy) issuePrefetch(tileID int, la mem.Addr) {
 	if t.prefetchInflight >= h.cfg.PrefetchDegree*2 {
 		return
 	}
-	if t.l2.Contains(la) || t.pending[la] != nil {
+	if t.l2.Contains(la) || t.pending.locked(la) {
 		return
 	}
 	t.prefetchInflight++
 	h.hot.prefetchIssued.Inc()
-	h.K.Go("prefetch", func(p *sim.Proc) {
-		h.access(p, tileID, la, accessOpts{prefetch: true})
-		t.prefetchInflight--
-	})
+	h.K.GoArgs("prefetch", h.prefetchFn, uint64(tileID), uint64(la))
 }

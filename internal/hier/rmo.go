@@ -3,6 +3,7 @@ package hier
 import (
 	"fmt"
 
+	"tako/internal/cache"
 	"tako/internal/energy"
 	"tako/internal/mem"
 	"tako/internal/sim"
@@ -84,28 +85,20 @@ func (h *Hierarchy) runRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, delta 
 	home := h.HomeTile(a)
 	hm := h.tiles[home]
 	p.Sleep(h.Mesh.Transfer(tileID, home, 16)) // address + operand
-	for {
-		f := hm.l3pending[la]
-		if f == nil {
-			break
-		}
-		p.Wait(f)
+	for hm.l3pending.waitIfLocked(p, la) {
 	}
-	fut := sim.NewFuture(h.K)
-	hm.l3pending[la] = fut
-	defer func() {
-		if hm.l3pending[la] == fut {
-			delete(hm.l3pending, la)
-		}
-		fut.Complete()
-	}()
+	tok := hm.l3pending.lock(la)
+	defer h.unlockHomeLine(la, tok)
 
 	h.Meter.Add(energy.L3Access, 1)
 	p.Sleep(h.cfg.L3TagLat)
 	ls3 := hm.l3.Lookup(a)
 	if ls3 == nil {
 		h.hot.rmoMisses.Inc()
-		var line mem.Line
+		// Pooled fill buffer (see fetchFromHome): interface calls would
+		// make a stack local escape per RMO miss.
+		line := h.getLineBuf()
+		defer h.putLineBuf(line)
 		meta := fillMeta{}
 		handled := false
 		if h.registry != nil {
@@ -113,11 +106,11 @@ func (h *Hierarchy) runRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, delta 
 				if b.Phantom {
 					h.PhantomMissFills++
 				} else {
-					p.Wait(h.DRAM.ReadLine(la, &line))
+					h.DRAM.ReadLineWait(p, la, line)
 				}
 				if b.HasMiss && h.runner != nil {
 					h.hot.cb[CbMiss].Inc()
-					_, done := h.runner.Run(home, CbMiss, b, la, &line)
+					_, done := h.runner.Run(home, CbMiss, b, la, line)
 					p.Wait(done)
 				}
 				meta.morph, meta.phantom = true, b.Phantom
@@ -125,9 +118,9 @@ func (h *Hierarchy) runRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, delta 
 			}
 		}
 		if !handled {
-			p.Wait(h.DRAM.ReadLine(la, &line))
+			h.DRAM.ReadLineWait(p, la, line)
 		}
-		for !h.insertL3(home, a, &line, meta) {
+		for !h.insertL3(home, a, line, meta) {
 			p.Sleep(1)
 		}
 		ls3 = hm.l3.Lookup(a)
@@ -135,21 +128,21 @@ func (h *Hierarchy) runRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, delta 
 			// Fill immediately victimized under extreme pressure:
 			// invalidate any private copies (merging dirty data) and
 			// apply the update straight to memory.
-			if e, ok := h.dir[la]; ok {
+			if e := h.dir.get(la); e != nil {
 				for s := 0; s < h.cfg.Tiles; s++ {
 					if e.has(s) {
 						if data, dirty, _ := h.invalidatePrivate(s, la); dirty {
-							line = data
+							*line = data
 						}
 						e.remove(s)
 					}
 				}
-				delete(h.dir, la)
+				h.dir.delete(la)
 			}
 			off := a.Offset() &^ 7
 			old := line.U64(off)
 			line.SetU64(off, op.apply(old, delta))
-			h.DRAM.WriteLine(la, &line)
+			h.DRAM.WriteLineNoWait(la, line)
 			if h.obs != nil {
 				h.obs.RMOCommitted(tileID, a, op, delta, old, op.apply(old, delta))
 			}
@@ -165,9 +158,9 @@ func (h *Hierarchy) runRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, delta 
 		hm.l3.Touch(a)
 	}
 	ls3.Locked = true
-	defer func() { ls3.Locked = false }()
+	defer unlockLine(ls3)
 	// Invalidate stale private copies so the home copy is authoritative.
-	if e, ok := h.dir[la]; ok {
+	if e := h.dir.get(la); e != nil {
 		for s := 0; s < h.cfg.Tiles; s++ {
 			if e.has(s) {
 				if data, dirty, present := h.invalidatePrivate(s, la); present {
@@ -181,18 +174,24 @@ func (h *Hierarchy) runRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, delta 
 			}
 		}
 		e.owner = -1
-		delete(h.dir, la)
+		h.dir.delete(la)
 	}
 	off := a.Offset() &^ 7
 	old := ls3.Data.U64(off)
 	ls3.Data.SetU64(off, op.apply(old, delta))
 	ls3.Dirty = true
-	h.debugLogHome(la, fmt.Sprintf("rmo-commit(from=%d)", tileID), ls3.Data.U64(16))
+	if h.freshChecks {
+		h.debugLogHome(la, fmt.Sprintf("rmo-commit(from=%d)", tileID), ls3.Data.U64(16))
+	}
 	if h.obs != nil {
 		h.obs.RMOCommitted(tileID, a, op, delta, old, op.apply(old, delta))
 	}
 	h.event("rmo.commit")
 }
+
+// unlockLine clears a line's callback/victim lock; used as a deferred
+// call (plain function + args, so the defer doesn't allocate a closure).
+func unlockLine(ls *cache.LineState) { ls.Locked = false }
 
 // DrainRMOs blocks until every RMO issued by tileID has completed (used
 // before flushData so no update is lost, §8.1).

@@ -8,6 +8,8 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+
+	"tako/internal/flat"
 )
 
 // Addr is a (physical) memory address. The simulator uses a single flat
@@ -79,39 +81,103 @@ func (l *Line) IsZero() bool {
 	return true
 }
 
-// Memory is a sparse backing store, addressed by line. Missing lines read
-// as zero. Memory carries real data so that callback semantics (PHI
+const (
+	// PageShift is log2(PageSize): the arena's chunk granularity.
+	PageShift = 12
+	// LinesPerPage is the number of cache lines per arena chunk.
+	LinesPerPage = PageSize / LineSize
+)
+
+// pageChunk is one page of backing storage: its lines stored inline plus
+// a bitmap of which lines have been materialized (touched), so
+// PopulatedLines stays line-exact even though allocation is
+// page-granular.
+type pageChunk struct {
+	lines   [LinesPerPage]Line
+	touched uint64
+}
+
+// slabChunks is how many chunks each allocation slab holds (~256 KB).
+// Chunks are handed out from fixed-size slabs, never from a growable
+// slice, so *Line pointers returned by LineAt stay valid forever.
+const slabChunks = 64
+
+// Memory is a sparse backing store, addressed by line. Missing lines
+// read as zero. Memory carries real data so that callback semantics (PHI
 // update application, journaling, decompression) can be verified against
 // functional baselines.
+//
+// Storage is a page-granular arena: the first touch of any line in a 4 KB
+// page claims a whole pageChunk (64 lines inline) from a slab, and a
+// dense open-addressed index maps page number → chunk. Reads and writes
+// within a touched page are then one hash probe plus direct array
+// indexing — no per-line allocation or per-line map entry.
 type Memory struct {
-	lines map[Addr]*Line
+	index  flat.Table[int32] // page number -> index into chunks
+	chunks []*pageChunk
+	slab   []pageChunk // current slab; chunks are carved off its front
+	lines  int         // materialized lines (PopulatedLines)
+
 	// Reads and Writes count line-granularity accesses for DRAM
 	// traffic accounting done by callers that bypass the timing model
 	// (functional baselines); the timed DRAM model keeps its own stats.
+	// Accounting is symmetric: read accessors (PeekLine, ReadU64,
+	// ReadU32) bump Reads; mutating accessors (LineAt, WriteLine,
+	// WriteU64, WriteU32) bump Writes.
 	Reads, Writes uint64
 }
 
 // NewMemory returns an empty (all-zero) backing store.
 func NewMemory() *Memory {
-	return &Memory{lines: make(map[Addr]*Line)}
+	return &Memory{}
 }
 
-// LineAt returns a mutable pointer to the line containing a, allocating a
-// zero line on first touch.
-func (m *Memory) LineAt(a Addr) *Line {
-	la := a.Line()
-	l, ok := m.lines[la]
-	if !ok {
-		l = new(Line)
-		m.lines[la] = l
+// chunkFor returns the page chunk holding a, claiming one from the slab
+// on first touch when alloc is set (nil otherwise).
+func (m *Memory) chunkFor(a Addr, alloc bool) *pageChunk {
+	page := uint64(a) >> PageShift
+	if i, ok := m.index.Get(page); ok {
+		return m.chunks[i]
 	}
-	return l
+	if !alloc {
+		return nil
+	}
+	if len(m.slab) == 0 {
+		m.slab = make([]pageChunk, slabChunks)
+	}
+	ch := &m.slab[0]
+	m.slab = m.slab[1:]
+	m.index.Put(page, int32(len(m.chunks)))
+	m.chunks = append(m.chunks, ch)
+	return ch
+}
+
+// lineAt is the uncounted accessor behind LineAt and the word helpers:
+// it materializes the line (marking it touched) without bumping Reads or
+// Writes, so each public accessor charges exactly one counter.
+func (m *Memory) lineAt(a Addr) *Line {
+	ch := m.chunkFor(a, true)
+	li := (uint64(a) >> LineShift) & (LinesPerPage - 1)
+	if bit := uint64(1) << li; ch.touched&bit == 0 {
+		ch.touched |= bit
+		m.lines++
+	}
+	return &ch.lines[li]
+}
+
+// LineAt returns a mutable pointer to the line containing a, allocating
+// its page on first touch. The pointer stays valid for the Memory's
+// lifetime. Because the caller receives mutable access, LineAt counts as
+// one line write.
+func (m *Memory) LineAt(a Addr) *Line {
+	m.Writes++
+	return m.lineAt(a)
 }
 
 // PeekLine copies the line containing a into dst without allocating.
 func (m *Memory) PeekLine(a Addr, dst *Line) {
-	if l, ok := m.lines[a.Line()]; ok {
-		*dst = *l
+	if ch := m.chunkFor(a, false); ch != nil {
+		*dst = ch.lines[(uint64(a)>>LineShift)&(LinesPerPage-1)]
 	} else {
 		*dst = Line{}
 	}
@@ -120,21 +186,33 @@ func (m *Memory) PeekLine(a Addr, dst *Line) {
 
 // WriteLine stores src as the line containing a.
 func (m *Memory) WriteLine(a Addr, src *Line) {
-	*m.LineAt(a) = *src
+	*m.lineAt(a) = *src
 	m.Writes++
 }
 
 // ReadU64 reads the 64-bit word at a (must be 8-aligned).
-func (m *Memory) ReadU64(a Addr) uint64 { return m.LineAt(a).U64(a.Offset()) }
+func (m *Memory) ReadU64(a Addr) uint64 {
+	m.Reads++
+	return m.lineAt(a).U64(a.Offset())
+}
 
 // WriteU64 writes the 64-bit word at a (must be 8-aligned).
-func (m *Memory) WriteU64(a Addr, v uint64) { m.LineAt(a).SetU64(a.Offset(), v) }
+func (m *Memory) WriteU64(a Addr, v uint64) {
+	m.Writes++
+	m.lineAt(a).SetU64(a.Offset(), v)
+}
 
 // ReadU32 reads the 32-bit word at a (must be 4-aligned).
-func (m *Memory) ReadU32(a Addr) uint32 { return m.LineAt(a).U32(a.Offset()) }
+func (m *Memory) ReadU32(a Addr) uint32 {
+	m.Reads++
+	return m.lineAt(a).U32(a.Offset())
+}
 
 // WriteU32 writes the 32-bit word at a (must be 4-aligned).
-func (m *Memory) WriteU32(a Addr, v uint32) { m.LineAt(a).SetU32(a.Offset(), v) }
+func (m *Memory) WriteU32(a Addr, v uint32) {
+	m.Writes++
+	m.lineAt(a).SetU32(a.Offset(), v)
+}
 
 // PopulatedLines returns the number of lines that have been touched.
-func (m *Memory) PopulatedLines() int { return len(m.lines) }
+func (m *Memory) PopulatedLines() int { return m.lines }

@@ -111,6 +111,110 @@ func TestQuickMemoryReadBack(t *testing.T) {
 	}
 }
 
+// TestMemoryArenaPointerStability verifies LineAt pointers survive
+// arbitrary later growth: chunks come from fixed slabs, never a
+// reallocating slice, so a held *Line must keep reading and writing the
+// same storage.
+func TestMemoryArenaPointerStability(t *testing.T) {
+	m := NewMemory()
+	type held struct {
+		a Addr
+		p *Line
+	}
+	var refs []held
+	for i := 0; i < 2000; i++ {
+		a := Addr(i) * PageSize // one line per page: maximal chunk churn
+		p := m.LineAt(a)
+		p.SetU64(0, uint64(i)+1)
+		refs = append(refs, held{a, p})
+	}
+	for _, r := range refs {
+		if r.p != m.LineAt(r.a) {
+			t.Fatalf("LineAt(%v) moved", r.a)
+		}
+		if got := m.ReadU64(r.a); got != r.p.U64(0) {
+			t.Fatalf("held pointer for %v out of sync: %d vs %d", r.a, r.p.U64(0), got)
+		}
+	}
+}
+
+// TestMemoryPopulatedLines verifies the arena's touched bitmap keeps
+// PopulatedLines line-exact despite page-granular allocation.
+func TestMemoryPopulatedLines(t *testing.T) {
+	m := NewMemory()
+	if m.PopulatedLines() != 0 {
+		t.Fatalf("fresh memory has %d populated lines", m.PopulatedLines())
+	}
+	m.WriteU64(0x0, 1)      // line 0 of page 0
+	m.WriteU64(0x8, 2)      // same line
+	m.WriteU64(0x40, 3)     // line 1, same page
+	m.WriteU64(0x10_000, 4) // new page
+	if got := m.PopulatedLines(); got != 3 {
+		t.Fatalf("PopulatedLines = %d, want 3", got)
+	}
+	var l Line
+	m.PeekLine(0x20_000, &l) // peek does not materialize
+	if got := m.PopulatedLines(); got != 3 {
+		t.Fatalf("PeekLine materialized: PopulatedLines = %d, want 3", got)
+	}
+	m.ReadU64(0x20_000) // word reads materialize (mutable-path accessor)
+	if got := m.PopulatedLines(); got != 4 {
+		t.Fatalf("PopulatedLines = %d, want 4", got)
+	}
+}
+
+// TestMemoryCounterSymmetry audits the Reads/Writes accounting: every
+// read accessor charges exactly one Read, every mutating accessor
+// exactly one Write (LineAt returns mutable access, so it counts as a
+// write).
+func TestMemoryCounterSymmetry(t *testing.T) {
+	m := NewMemory()
+	var l Line
+
+	m.PeekLine(0x100, &l)
+	m.ReadU64(0x100)
+	m.ReadU32(0x104)
+	if m.Reads != 3 || m.Writes != 0 {
+		t.Fatalf("after 3 reads: Reads=%d Writes=%d", m.Reads, m.Writes)
+	}
+
+	m.WriteLine(0x100, &l)
+	m.WriteU64(0x100, 1)
+	m.WriteU32(0x104, 2)
+	m.LineAt(0x100)
+	if m.Reads != 3 || m.Writes != 4 {
+		t.Fatalf("after 4 writes: Reads=%d Writes=%d", m.Reads, m.Writes)
+	}
+}
+
+// TestMemoryArenaMatchesMapReference churns the arena and a plain
+// map-backed shadow through random line writes/reads and requires
+// identical contents — the memory-side differential check for the
+// data-layout overhaul.
+func TestMemoryArenaMatchesMapReference(t *testing.T) {
+	m := NewMemory()
+	ref := make(map[Addr]Line)
+	// Deterministic pseudo-random walk over a sparse, page-straddling
+	// address set.
+	x := uint64(0x243F6A8885A308D3)
+	next := func() uint64 { x ^= x << 13; x ^= x >> 7; x ^= x << 17; return x }
+	for i := 0; i < 20000; i++ {
+		a := Addr(next() % (1 << 22)).Line()
+		if next()%3 == 0 {
+			var l Line
+			l.SetU64(0, next())
+			m.WriteLine(a, &l)
+			ref[a] = l
+		} else {
+			var got Line
+			m.PeekLine(a, &got)
+			if want := ref[a]; got != want {
+				t.Fatalf("iteration %d: line %v = %v, shadow has %v", i, a, got.U64(0), want.U64(0))
+			}
+		}
+	}
+}
+
 func TestSpaceAllocDisjoint(t *testing.T) {
 	s := NewSpace()
 	a := s.Alloc("a", 1000)

@@ -1,0 +1,91 @@
+package oracle
+
+import (
+	"testing"
+)
+
+// These tests target the data-layout substrate under the hierarchy: the
+// open-addressed directory and lock tables (tombstone-free backshift
+// deletion, growth under load), the page-granular memory arena, and the
+// flat cache/TLB arrays. The oracle's shadow memory and the periodic
+// invariant checker cross-check every structure against reference
+// semantics while the trace churns them.
+
+// TestDataLayoutTableChurn runs a scripted trace engineered to cycle
+// directory and lock-table entries: sweep every line of a region (each
+// fill inserts a directory entry), then flush it (each eviction deletes
+// one, exercising backshift deletion), repeatedly and from multiple
+// tiles. A frequent invariant-check period makes the checker walk the
+// tables between rounds, so a corrupted probe chain or a lost entry
+// surfaces immediately rather than only at the final sweep.
+func TestDataLayoutTableChurn(t *testing.T) {
+	var script []byte
+	emit := func(kind opKind, region, line, word int, val byte) {
+		script = append(script,
+			byte(kind), byte(region), byte(line), byte(line>>8), byte(word), val)
+	}
+	const rounds = 6
+	for r := 0; r < rounds; r++ {
+		// Fill phase: touch every line of both real regions so the
+		// directory and MSHR tables grow well past their initial size.
+		for l := 0; l < int(regionLines[rRealA]); l++ {
+			emit(opStore, rRealA, l, l%8, byte(r+1))
+		}
+		for l := 0; l < int(regionLines[rRealB]); l++ {
+			emit(opStoreLine, rRealB, l, 0, byte(r+3))
+		}
+		// Contention phase: hammer a hot set so lock-table entries are
+		// created and conditionally released under real contention.
+		for i := 0; i < 32; i++ {
+			emit(opRemoteAdd, rRealA, i%4, 0, byte(i+1))
+			emit(opAtomicAdd, rRealB, i%4, 2, byte(i+1))
+		}
+		emit(opDrain, rRealA, 0, 0, 1)
+		// Drain phase: mass-delete directory entries via flushes. The
+		// open-addressed tables shrink back through backshift deletion;
+		// a stale tombstone-style artifact would corrupt later probes.
+		emit(opFlush, rRealA, 0, 0, 1)
+		emit(opFlush, rRealB, 0, 0, 1)
+	}
+	cfg := TraceConfig{
+		Tiles:      4,
+		CacheScale: 32,
+		CheckEvery: 64,
+		Script:     script,
+	}
+	res, err := RunTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Oracle.Err(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("churn: %d ops in %d cycles, %s", res.Ops, res.Cycles, res.Oracle.Fingerprint())
+}
+
+// TestDataLayoutArenaSpread uses randomized traces with a wide line
+// distribution (half the picks span a 64K-line range, far beyond any
+// region — legalized by modulo into region-relative offsets) across
+// extra seeds beyond the main oracle test, under the heaviest cache
+// pressure the harness supports. This keeps the memory arena allocating
+// and revisiting pages in a sparse pattern while evictions stream
+// through the flat cache arrays.
+func TestDataLayoutArenaSpread(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy randomized trace")
+	}
+	for _, seed := range []int64{11, 13} {
+		cfg := DefaultTraceConfig(seed)
+		cfg.CacheScale = 64 // smallest caches: maximal fill/evict churn
+		cfg.OpsPerTile = 1500
+		cfg.CheckEvery = 128
+		res, err := RunTrace(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := res.Oracle.Err(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		t.Logf("seed %d: %d ops in %d cycles", seed, res.Ops, res.Cycles)
+	}
+}

@@ -1,0 +1,49 @@
+// Package prof wires the standard runtime profilers into the CLIs:
+// -cpuprofile / -memprofile flags map onto runtime/pprof's CPU and heap
+// profiles, written as files for `go tool pprof`.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpu is non-empty and returns a stop
+// function that finishes the CPU profile and, when mem is non-empty,
+// writes a heap profile. Call stop at the end of the run, before any
+// os.Exit on the success path.
+func Start(cpu, mem string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

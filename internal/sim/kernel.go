@@ -15,13 +15,15 @@ type Cycle = uint64
 // an arbitrary scheduled callback, proc is a parked process to resume,
 // future is a Future to complete. Carrying the target directly keeps the
 // wake paths (Sleep, Future, Semaphore, WaitGroup, Barrier, CompleteAt)
-// free of per-event closure allocations.
+// free of per-event closure allocations. start marks a proc event as the
+// process's first dispatch (set by Go/GoArgs rather than a closure).
 type event struct {
 	when   Cycle
 	seq    uint64
 	fn     func()
 	proc   *Proc
 	future *Future
+	start  bool
 }
 
 // Kernel is a deterministic discrete-event simulator clock and queue.
@@ -44,6 +46,18 @@ type Kernel struct {
 	// and allocated in large numbers on memory-access hot paths, so
 	// their waiter backing arrays are worth reusing.
 	waiterPool [][]*Proc
+
+	// freeProcs holds finished Procs whose goroutines are parked awaiting
+	// a next task: spawning recycles them (struct, channels, and goroutine)
+	// instead of allocating. Only the kernel loop and the currently-running
+	// proc touch this list, and never at the same time, so no locking is
+	// needed. Release tears the idle goroutines down.
+	freeProcs []*Proc
+
+	// futurePool recycles one-shot Futures on paths that guarantee no
+	// references survive completion (DRAM transfers, lazy line-lock
+	// futures). See GetFuture/RecycleFuture.
+	futurePool []*Future
 }
 
 // NewKernel returns an empty kernel at cycle 0.
@@ -108,9 +122,16 @@ func (k *Kernel) Step() bool {
 	k.events++
 	switch {
 	case e.proc != nil:
+		if e.start {
+			e.proc.started = true
+		}
 		e.proc.dispatch()
 	case e.future != nil:
 		e.future.Complete()
+		// Pool-originated futures completed by their scheduled event have
+		// no remaining references (waiters were converted to proc wakes);
+		// recycle immediately.
+		k.RecycleFuture(e.future)
 	default:
 		e.fn()
 	}
@@ -227,4 +248,52 @@ func (k *Kernel) putWaiters(s []*Proc) {
 	}
 	clear(s[:cap(s)])
 	k.waiterPool = append(k.waiterPool, s[:0])
+}
+
+// GetFuture returns an incomplete future from the kernel's pool,
+// allocating only when the pool is empty. Pool-originated futures are
+// recycled automatically when completed by a CompleteAt event, or
+// explicitly via RecycleFuture; callers must guarantee no reference to
+// the future survives its completion. Futures that escape to unknown
+// holders must use NewFuture instead.
+func (k *Kernel) GetFuture() *Future {
+	if n := len(k.futurePool); n > 0 {
+		f := k.futurePool[n-1]
+		k.futurePool[n-1] = nil
+		k.futurePool = k.futurePool[:n-1]
+		return f
+	}
+	return &Future{k: k, pooled: true}
+}
+
+// RecycleFuture returns a completed pool-originated future for reuse. It
+// is a no-op for futures from NewFuture (or nil), so wake paths can call
+// it unconditionally. Recycling an incomplete future panics: it would
+// let two owners race on one object.
+func (k *Kernel) RecycleFuture(f *Future) {
+	if f == nil || !f.pooled {
+		return
+	}
+	if !f.done {
+		panic("sim: recycling incomplete future")
+	}
+	f.done = false
+	f.when = 0
+	if len(k.futurePool) < 64 {
+		k.futurePool = append(k.futurePool, f)
+	}
+}
+
+// Release tears down the pooled worker goroutines of finished processes.
+// The kernel stays fully usable — subsequent Go calls simply allocate
+// fresh processes — so callers (simulation drivers, benchmarks) should
+// invoke it when a run completes to avoid accumulating parked goroutines
+// across many kernels in one process.
+func (k *Kernel) Release() {
+	for i, p := range k.freeProcs {
+		p.exit = true
+		p.resume <- struct{}{}
+		k.freeProcs[i] = nil
+	}
+	k.freeProcs = k.freeProcs[:0]
 }

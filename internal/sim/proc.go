@@ -4,6 +4,14 @@ package sim
 // kernel admits only one at a time: when a Proc blocks (Sleep, Wait), it
 // parks its goroutine and control returns to the kernel's event loop.
 //
+// Finished Procs are pooled: their goroutines park on the resume channel
+// and the next Go/GoArgs reuses the whole structure (struct, channels,
+// goroutine) instead of allocating. This is safe because every park has
+// exactly one wake scheduled (Sleep, Future completion, Semaphore
+// handoff, WaitGroup drain, Barrier release), so no stale wake event can
+// ever target a recycled Proc. Kernel.Release tears idle pool goroutines
+// down when a run is over.
+//
 // All Proc methods must be called from the Proc's own goroutine (i.e.,
 // inside the function passed to Kernel.Go), except Done.
 type Proc struct {
@@ -13,12 +21,50 @@ type Proc struct {
 	parked  chan struct{}
 	started bool
 	done    bool
+	exit    bool // set by Kernel.Release to retire the pooled goroutine
+
+	// Task slots: exactly one of fn/fnArgs is set while the proc runs.
+	// They live on the Proc so a pooled goroutine picks up its next task
+	// without a per-spawn closure; fnArgs carries two scalar arguments so
+	// hot spawn sites (prefetches, writeback timing) can share one
+	// long-lived function value instead of closing over their operands.
+	fn     func(*Proc)
+	fnArgs func(*Proc, uint64, uint64)
+	a0, a1 uint64
 }
 
 // Go creates a simulated process named name running fn, and schedules it
 // to start at the current cycle. fn runs on its own goroutine; it blocks
 // the simulation only while actively computing between blocking calls.
 func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := k.spawn(name)
+	p.fn = fn
+	k.scheduleStart(p)
+	return p
+}
+
+// GoArgs is Go for allocation-sensitive spawn sites: fn is a shared,
+// long-lived function value and a0/a1 carry the operands, so issuing a
+// process allocates nothing once the proc pool is warm.
+func (k *Kernel) GoArgs(name string, fn func(p *Proc, a0, a1 uint64), a0, a1 uint64) *Proc {
+	p := k.spawn(name)
+	p.fnArgs, p.a0, p.a1 = fn, a0, a1
+	k.scheduleStart(p)
+	return p
+}
+
+// spawn returns a ready-to-start Proc, recycling a pooled one when
+// available. Recycled procs are already in k.procs; fresh ones are
+// appended and their worker goroutine started.
+func (k *Kernel) spawn(name string) *Proc {
+	if n := len(k.freeProcs); n > 0 {
+		p := k.freeProcs[n-1]
+		k.freeProcs[n-1] = nil
+		k.freeProcs = k.freeProcs[:n-1]
+		p.name = name
+		p.started, p.done = false, false
+		return p
+	}
 	p := &Proc{
 		k:      k,
 		name:   name,
@@ -26,17 +72,37 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 		parked: make(chan struct{}),
 	}
 	k.procs = append(k.procs, p)
-	go func() {
-		<-p.resume
-		fn(p)
-		p.done = true
-		p.parked <- struct{}{}
-	}()
-	k.After(0, func() {
-		p.started = true
-		p.dispatch()
-	})
+	go p.loop()
 	return p
+}
+
+// scheduleStart queues the proc's first dispatch at the current cycle,
+// carried directly on the event (no closure).
+func (k *Kernel) scheduleStart(p *Proc) {
+	k.seq++
+	k.push(event{when: k.now, seq: k.seq, proc: p, start: true})
+}
+
+// loop is the pooled worker body: run a task, return to the free list,
+// park for the next one. The free-list append is safe without locking
+// because the kernel goroutine is blocked in dispatch (on p.parked) for
+// the whole time the proc runs.
+func (p *Proc) loop() {
+	for {
+		<-p.resume
+		if p.exit {
+			return
+		}
+		if p.fn != nil {
+			p.fn(p)
+		} else {
+			p.fnArgs(p, p.a0, p.a1)
+		}
+		p.fn, p.fnArgs = nil, nil
+		p.done = true
+		p.k.freeProcs = append(p.k.freeProcs, p)
+		p.parked <- struct{}{}
+	}
 }
 
 // dispatch hands control to the process and waits for it to park or
@@ -91,6 +157,7 @@ func (p *Proc) Wait(f *Future) {
 type Future struct {
 	k       *Kernel
 	done    bool
+	pooled  bool // from Kernel.GetFuture: recyclable once complete
 	when    Cycle
 	waiters []*Proc
 	watches []func()

@@ -116,6 +116,10 @@ func (s *System) Run() sim.Cycle {
 	if blocked := s.K.Blocked(); len(blocked) > 0 {
 		panic(fmt.Sprintf("system: deadlocked processes after run: %v", blocked))
 	}
+	// Retire the kernel's pooled worker goroutines: report generation
+	// runs thousands of systems in one process, and parked goroutines
+	// from finished kernels would otherwise accumulate.
+	s.K.Release()
 	return s.K.Now()
 }
 

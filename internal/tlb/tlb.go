@@ -11,6 +11,8 @@
 package tlb
 
 import (
+	"fmt"
+
 	"tako/internal/mem"
 	"tako/internal/sim"
 )
@@ -22,6 +24,13 @@ type Config struct {
 	PageBits    uint      // log2 of page size: 12 for 4 KB, 21 for 2 MB
 	HitLatency  sim.Cycle // lookup cost
 	WalkLatency sim.Cycle // miss (page walk / tag probe) cost
+	// Ways sets the associativity of the entry array. 0 (the default)
+	// means fully associative — one set holding every entry with exact
+	// LRU, the paper's model. Set-associative configurations (Ways <
+	// Entries) restrict each page to one set of Ways entries with
+	// per-set LRU; Entries must then be divisible by Ways with a
+	// power-of-two set count.
+	Ways int
 }
 
 // DefaultRTLBConfig returns the paper's engine rTLB: 256 entries, 2 MB
@@ -30,11 +39,25 @@ func DefaultRTLBConfig() Config {
 	return Config{Name: "rtlb", Entries: 256, PageBits: 21, HitLatency: 1, WalkLatency: 30}
 }
 
-// TLB is a bounded page-translation cache with LRU replacement.
+// entry is one translation: the page base and its last-use tick.
+// use == 0 marks the slot empty (the tick counter starts at 1).
+type entry struct {
+	page mem.Addr
+	use  uint64
+}
+
+// TLB is a bounded page-translation cache with LRU replacement, stored
+// as a flat set-associative array (one contiguous entry slab, sets of
+// `ways` consecutive slots). Ticks strictly increase, so each entry's
+// last-use is unique and the LRU victim is deterministic.
 type TLB struct {
-	cfg   Config
-	pages map[mem.Addr]uint64 // page base -> last-use tick
-	tick  uint64
+	cfg     Config
+	entries []entry
+	mru     []int32 // per-set slot hint: 2 MB pages make same-page runs long
+	ways    int
+	numSets int
+	tick    uint64
+	live    int
 
 	Hits, Misses uint64
 	Shootdowns   uint64
@@ -48,7 +71,24 @@ func New(cfg Config) *TLB {
 	if cfg.PageBits < mem.LineShift {
 		panic("tlb: page smaller than a line")
 	}
-	return &TLB{cfg: cfg, pages: make(map[mem.Addr]uint64)}
+	ways := cfg.Ways
+	if ways <= 0 || ways >= cfg.Entries {
+		ways = cfg.Entries // fully associative
+	}
+	if cfg.Entries%ways != 0 {
+		panic(fmt.Sprintf("tlb %s: %d entries not divisible by %d ways", cfg.Name, cfg.Entries, ways))
+	}
+	numSets := cfg.Entries / ways
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("tlb %s: %d sets is not a power of two", cfg.Name, numSets))
+	}
+	return &TLB{
+		cfg:     cfg,
+		entries: make([]entry, cfg.Entries),
+		mru:     make([]int32, numSets),
+		ways:    ways,
+		numSets: numSets,
+	}
 }
 
 // Config returns the TLB's configuration.
@@ -58,29 +98,50 @@ func (t *TLB) pageOf(a mem.Addr) mem.Addr {
 	return a &^ (mem.Addr(1)<<t.cfg.PageBits - 1)
 }
 
+// setBase returns the slab offset of the set holding page.
+func (t *TLB) setBase(page mem.Addr) int {
+	return int(uint64(page)>>t.cfg.PageBits&uint64(t.numSets-1)) * t.ways
+}
+
 // Lookup translates a, returning the latency charged and whether it hit.
-// Misses install the entry, evicting the LRU entry when full.
+// Misses install the entry, evicting the set's LRU entry when full.
 func (t *TLB) Lookup(a mem.Addr) (latency sim.Cycle, hit bool) {
 	page := t.pageOf(a)
 	t.tick++
-	if _, ok := t.pages[page]; ok {
-		t.pages[page] = t.tick
+	base := t.setBase(page)
+	set := t.entries[base : base+t.ways]
+	// MRU fast path: consecutive accesses overwhelmingly share a (huge)
+	// page, so the previous hit's slot usually answers in one compare.
+	if m := t.mru[base/t.ways]; set[m].use != 0 && set[m].page == page {
+		set[m].use = t.tick
 		t.Hits++
 		return t.cfg.HitLatency, true
 	}
-	t.Misses++
-	if len(t.pages) >= t.cfg.Entries {
-		var victim mem.Addr
-		oldest := uint64(0)
-		first := true
-		for p, use := range t.pages {
-			if first || use < oldest {
-				victim, oldest, first = p, use, false
+	victim, empty := 0, -1
+	for i := range set {
+		if set[i].use == 0 {
+			if empty < 0 {
+				empty = i
 			}
+			continue
 		}
-		delete(t.pages, victim)
+		if set[i].page == page {
+			set[i].use = t.tick
+			t.mru[base/t.ways] = int32(i)
+			t.Hits++
+			return t.cfg.HitLatency, true
+		}
+		if set[victim].use == 0 || set[i].use < set[victim].use {
+			victim = i
+		}
 	}
-	t.pages[page] = t.tick
+	t.Misses++
+	if empty >= 0 {
+		victim = empty
+		t.live++
+	}
+	set[victim] = entry{page: page, use: t.tick}
+	t.mru[base/t.ways] = int32(victim)
 	return t.cfg.HitLatency + t.cfg.WalkLatency, false
 }
 
@@ -88,15 +149,17 @@ func (t *TLB) Lookup(a mem.Addr) (latency sim.Cycle, hit bool) {
 // Morph is registered or unregistered on the range).
 func (t *TLB) FlushRegion(r mem.Region) {
 	t.Shootdowns++
-	for p := range t.pages {
-		if p >= t.pageOf(r.Base) && p < r.End() {
-			delete(t.pages, p)
+	lo := t.pageOf(r.Base)
+	for i := range t.entries {
+		if e := &t.entries[i]; e.use != 0 && e.page >= lo && e.page < r.End() {
+			*e = entry{}
+			t.live--
 		}
 	}
 }
 
 // Entries returns the number of live entries.
-func (t *TLB) Entries() int { return len(t.pages) }
+func (t *TLB) Entries() int { return t.live }
 
 // HitRate returns hits/(hits+misses), or 1 with no traffic.
 func (t *TLB) HitRate() float64 {

@@ -100,3 +100,91 @@ func TestQuickCapacityBound(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFlatArrayMatchesMapReference drives the flat-array TLB and a
+// map-based reference model (the pre-flattening implementation) through
+// the same access/flush sequence and requires identical hit/miss
+// outcomes and latencies. Ticks strictly increase, so the LRU victim is
+// unique and the two implementations cannot legally diverge.
+func TestFlatArrayMatchesMapReference(t *testing.T) {
+	cfg := Config{Name: "diff", Entries: 8, PageBits: 12, HitLatency: 1, WalkLatency: 10}
+	tl := New(cfg)
+	ref := make(map[mem.Addr]uint64) // page -> last-use tick
+	tick := uint64(0)
+	refLookup := func(a mem.Addr) bool {
+		page := a &^ (1<<12 - 1)
+		tick++
+		if _, ok := ref[page]; ok {
+			ref[page] = tick
+			return true
+		}
+		if len(ref) >= cfg.Entries {
+			var victim mem.Addr
+			oldest, first := uint64(0), true
+			for p, use := range ref {
+				if first || use < oldest {
+					victim, oldest, first = p, use, false
+				}
+			}
+			delete(ref, victim)
+		}
+		ref[page] = tick
+		return false
+	}
+	x := uint64(0x9E3779B9)
+	next := func() uint64 { x ^= x << 13; x ^= x >> 7; x ^= x << 17; return x }
+	for i := 0; i < 30000; i++ {
+		a := mem.Addr(next() % (24 << 12)) // 24 pages over an 8-entry TLB
+		lat, hit := tl.Lookup(a)
+		if want := refLookup(a); hit != want {
+			t.Fatalf("access %d (%v): hit=%v, reference says %v", i, a, hit, want)
+		}
+		wantLat := cfg.HitLatency
+		if !hit {
+			wantLat += cfg.WalkLatency
+		}
+		if lat != wantLat {
+			t.Fatalf("access %d: latency %d, want %d", i, lat, wantLat)
+		}
+		if tl.Entries() != len(ref) {
+			t.Fatalf("access %d: Entries=%d, reference holds %d", i, tl.Entries(), len(ref))
+		}
+		if i%1000 == 999 {
+			r := mem.Region{Name: "f", Base: mem.Addr(next() % (24 << 12)), Size: 4 << 12}
+			tl.FlushRegion(r)
+			lo := r.Base &^ (1<<12 - 1)
+			for p := range ref {
+				if p >= lo && p < r.End() {
+					delete(ref, p)
+				}
+			}
+		}
+	}
+}
+
+// TestSetAssociative exercises a non-default Ways configuration:
+// conflict misses within one set must not evict entries of other sets.
+func TestSetAssociative(t *testing.T) {
+	tl := New(Config{Name: "sa", Entries: 8, PageBits: 12, HitLatency: 1, WalkLatency: 10, Ways: 2})
+	// Pages 0, 4, 8 all index set 0 (4 sets); page 1 indexes set 1.
+	tl.Lookup(0 << 12)
+	tl.Lookup(1 << 12)
+	tl.Lookup(4 << 12)
+	tl.Lookup(8 << 12) // evicts page 0 (set 0 LRU), not page 1
+	if _, hit := tl.Lookup(1 << 12); !hit {
+		t.Fatal("conflict misses in set 0 evicted set 1's entry")
+	}
+	if _, hit := tl.Lookup(0 << 12); hit {
+		t.Fatal("set-0 LRU entry survived a full set")
+	}
+}
+
+// TestSetAssociativeGeometryPanics pins the config validation.
+func TestSetAssociativeGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-divisible ways")
+		}
+	}()
+	New(Config{Name: "bad", Entries: 8, PageBits: 12, Ways: 3})
+}
