@@ -7,6 +7,14 @@
 //	takosim -exp fig13 [-full] [-j N] [-verify]
 //	takosim -exp fig13 -metrics out.json
 //	takosim -exp fig13 -trace out.trace.json -trace-format chrome
+//	takosim -explore [-explore-runs N] [-explore-scenario substr]
+//
+// -explore runs the coherence interleaving explorer instead of an
+// experiment: each seeded race scenario executes under systematically
+// permuted same-cycle event orderings, and every schedule must satisfy
+// the reference memory model and all hierarchy invariants. A nonzero
+// exit reports a schedule that broke the model, with the choice prefix
+// needed to replay it.
 //
 // -metrics writes every run's typed metrics snapshot (counters, gauges,
 // latency histograms) as deterministic JSON. -trace streams structured
@@ -34,6 +42,7 @@ import (
 	"tako/internal/exp"
 	"tako/internal/hier"
 	"tako/internal/morphs"
+	"tako/internal/oracle"
 	"tako/internal/prof"
 	"tako/internal/sched"
 	"tako/internal/system"
@@ -56,6 +65,10 @@ func main() {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+		explore         = flag.Bool("explore", false, "run the coherence interleaving explorer instead of an experiment (nonzero exit on any model-breaking schedule)")
+		exploreRuns     = flag.Int("explore-runs", 0, "schedules to try per explorer scenario (0 = default budget)")
+		exploreScenario = flag.String("explore-scenario", "", "restrict the explorer to scenarios whose name contains this substring")
 	)
 	flag.Parse()
 
@@ -70,6 +83,32 @@ func main() {
 
 	if *verify {
 		hier.SetVerifyDefaults(true, 128)
+	}
+
+	if *explore {
+		cfg := oracle.DefaultExploreConfig()
+		cfg.Scenario = *exploreScenario
+		if *exploreRuns > 0 {
+			cfg.MaxRuns = *exploreRuns
+		}
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+		start := time.Now()
+		res, err := oracle.Explore(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "takosim: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("\nexplored %d scenarios, %d schedules (max %d choice points) in %s\n",
+			len(res.Scenarios), res.Runs, res.ChoicePoints, time.Since(start).Round(time.Millisecond))
+		stopProf()
+		if n := len(res.Findings); n > 0 {
+			fmt.Fprintf(os.Stderr, "takosim: %d schedule(s) broke the model\n", n)
+			os.Exit(1)
+		}
+		fmt.Println("all schedules satisfied the reference model and invariants")
+		return
 	}
 
 	if *list || *id == "" {

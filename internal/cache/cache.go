@@ -132,6 +132,9 @@ func New(cfg Config) *Cache {
 		if c.vcConstraint.CallbackFree && l.Morph {
 			return false
 		}
+		if c.vcConstraint.Busy != nil && c.vcConstraint.Busy(l.Tag) {
+			return false
+		}
 		if c.vcConstraint.Avoid != nil && c.vcConstraint.Avoid(l.Tag) {
 			return false
 		}
@@ -210,6 +213,12 @@ type VictimConstraint struct {
 	// policy for their lines. Callers fall back to unconstrained
 	// selection when every candidate is avoided.
 	Avoid func(tag mem.Addr) bool
+	// Busy excludes lines with an in-flight transaction the cache array
+	// cannot see (a held home-line lock). Unlike Avoid it is a hard
+	// correctness constraint, never relaxed: victimizing a line mid
+	// transaction lets its eviction snapshot race the transaction's
+	// update.
+	Busy func(tag mem.Addr) bool
 }
 
 // ChooseVictim picks a victim way in a's set for an incoming fill.
@@ -349,6 +358,9 @@ func (c *Cache) ChooseVictimForInsert(a mem.Addr, opts FillOpts, constraint Vict
 		set := c.set(c.SetIndex(a))
 		allowed := func(i int) bool {
 			if set[i].Locked || !set[i].Morph {
+				return false
+			}
+			if constraint.Busy != nil && constraint.Busy(set[i].Tag) {
 				return false
 			}
 			if constraint.Avoid != nil && constraint.Avoid(set[i].Tag) {

@@ -71,39 +71,21 @@ func (h *Hierarchy) StoreLine(p *sim.Proc, tileID int, a mem.Addr, line *mem.Lin
 // written directly to the shared level (or memory) without
 // read-for-ownership or cache allocation, like MOVNTDQ streaming stores.
 // Update-batching implementations stream their bins this way.
+//
+// The transaction takes the home-line lock before touching the
+// directory: a fetch in flight under the lock may be about to install
+// fresh sharers, and invalidating before it completes would let those
+// copies survive the supersede and go stale.
 func (h *Hierarchy) StoreLineNT(p *sim.Proc, tileID int, a mem.Addr, line *mem.Line) {
 	la := a.Line()
 	home := h.HomeTile(la)
-	// Take the home-line lock before touching the directory: a fetch in
-	// flight under the lock may be about to install fresh sharers, and
-	// invalidating before it completes would let those copies survive
-	// the supersede and go stale.
-	tok := h.lockHomeLine(p, la)
-	// A full-line store supersedes all cached copies.
-	if e := h.dir.get(la); e != nil {
-		for s := 0; s < h.cfg.Tiles; s++ {
-			if e.has(s) {
-				h.invalidatePrivate(s, la)
-				e.remove(s)
-			}
-		}
-		h.dir.delete(la)
-	}
-	hm := h.tiles[home]
-	if ls3 := hm.l3.Lookup(la); ls3 != nil {
-		ls3.Data = *line
-		ls3.Dirty = true
-		h.Meter.Add(energy.L3Access, 1)
-	} else {
-		h.DRAM.WriteLineNoWait(la, line) // bypasses the cache entirely
-	}
-	if h.obs != nil {
-		h.obs.LineStored(tileID, a, line, true)
-	}
-	h.event("nt.store")
-	h.hot.ntStores.Inc()
-	p.Sleep(h.Mesh.Transfer(tileID, home, mem.LineSize))
-	h.unlockHomeLine(la, tok)
+	x := h.getTxn()
+	x.h, x.p, x.kind = h, p, kindNTStore
+	x.tileID, x.a, x.la = tileID, a, la
+	x.home, x.hm = home, h.tiles[home]
+	x.ext = line
+	x.run()
+	h.putTxn(x)
 }
 
 // AtomicAddLocal performs a read-modify-write add in the local cache
@@ -154,6 +136,11 @@ func (h *Hierarchy) AtomicExchange(p *sim.Proc, tileID int, a mem.Addr, v uint64
 // access is the private-domain access path: L1 → L2 → shared level. It
 // returns the L1 (or engine-L1) line holding a, with write permission
 // when requested. The returned pointer is valid until the next sleep.
+//
+// The access runs as a kindAccess transaction (txn.go); the lifecycle —
+// lock waits, probes, miss allocation, fetch, fill, post-install
+// validation — is encoded in the txnLegal state machine rather than an
+// inline retry loop.
 func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *cache.LineState {
 	t := h.tiles[tileID]
 	la := a.Line()
@@ -166,191 +153,18 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 		}
 	}
 	h.Meter.Add(energy.TLBAccess, 1)
-	for {
-		// Respect callback locks and in-flight fills on this line.
-		if t.pending.waitIfLocked(p, la) {
-			continue
-		}
-		top := t.l1
-		if o.engine {
-			top = t.el1
-		}
-		topHits, topMisses := h.hot.top(o.engine)
-		if !o.prefetch {
-			h.Meter.Add(energy.L1Access, 1)
-			p.Sleep(h.cfg.L1Latency)
-			if t.pending.waitIfLocked(p, la) { // lock raced in during sleep
-				continue
-			}
-			if ls := top.Lookup(a); ls != nil {
-				h.debugCheckFresh(tileID, la, "l1-hit")
-				if o.write && !h.hasExclusive(tileID, la) {
-					h.upgrade(p, tileID, la)
-					continue
-				}
-				top.Touch(a)
-				top.Stats.Hits++
-				topHits.Inc()
-				if o.write {
-					h.snoopSibling(tileID, la, o.engine)
-				}
-				return ls
-			}
-			top.Stats.Misses++
-			topMisses.Inc()
-			// Clustered coherence (§4.3): the core and engine L1ds
-			// snoop within the tile. A miss in one that hits in the
-			// other migrates the line (with its dirty state) instead
-			// of fetching stale data from the shared level — the
-			// directory tracks the tile as one domain, so the home
-			// copy may be behind this tile's own sibling L1.
-			sib := t.el1
-			if o.engine {
-				sib = t.l1
-			}
-			if sib.Contains(la) {
-				h.hot.snoopMigrations.Inc()
-				h.Meter.Add(energy.L1Access, 1)
-				p.Sleep(h.cfg.L1Latency)
-				// Extract only after the latency sleep: a line held in
-				// a local variable across a sleep is invisible to
-				// concurrent invalidations and downgrades, and
-				// re-installing it would resurrect dirty data they
-				// could not see. If the copy vanished during the
-				// sleep, the retry refetches it.
-				if ls, ok := sib.ExtractLine(la); ok {
-					meta := fillMeta{phantom: ls.Phantom, dirty: ls.Dirty, engine: o.engine}
-					h.fillTop(tileID, a, &ls.Data, meta, o.engine)
-				}
-				// Retry from the top: the hit path applies write
-				// permission checks and replacement updates.
-				continue
-			}
-		}
-		// All accesses probe the tile's L2 (engines are clustered with
-		// it, §4.3); only core accesses and private-callback engine
-		// accesses allocate there on a miss.
-		allocL2 := !o.engine || o.viaL2
-		{
-			h.Meter.Add(energy.L2Access, 1)
-			p.Sleep(h.cfg.L2TagLat)
-			if t.pending.waitIfLocked(p, la) {
-				continue
-			}
-			if ls2 := t.l2.Lookup(a); ls2 != nil {
-				h.debugCheckFresh(tileID, la, "l2-hit")
-				if o.write && !h.hasExclusive(tileID, la) {
-					h.upgrade(p, tileID, la)
-					continue
-				}
-				p.Sleep(h.cfg.L2DataLat)
-				t.l2.Touch(a)
-				t.l2.Stats.Hits++
-				h.hot.l2Hits.Inc()
-				ls2 = t.l2.Lookup(a)
-				if ls2 == nil {
-					continue // evicted during the data-array sleep
-				}
-				if o.write && !h.hasExclusive(tileID, la) {
-					// Ownership was revoked during the data-array
-					// sleep (a concurrent read downgraded us):
-					// dirtying the line now would skip the
-					// invalidation of the new sharers. Retry, which
-					// re-upgrades.
-					continue
-				}
-				if o.prefetch {
-					return ls2
-				}
-				meta := fillMeta{phantom: ls2.Phantom, dirty: false, engine: o.engine}
-				h.fillTop(tileID, a, &ls2.Data, meta, o.engine)
-				if ls := top.Lookup(a); ls != nil {
-					if o.write {
-						h.snoopSibling(tileID, la, o.engine)
-					}
-					return ls
-				}
-				continue
-			}
-			t.l2.Stats.Misses++
-			h.hot.l2Misses.Inc()
-			if !o.engine {
-				h.notifyPrefetcher(p, tileID, a)
-			}
-		}
-		// Private-domain miss: allocate an MSHR (core accesses only;
-		// engines have dedicated slots so callbacks can always make
-		// progress, §5.2) and fetch.
-		if t.pending.waitIfLocked(p, la) {
-			continue
-		}
-		usedMSHR := !o.engine && !o.prefetch
-		if usedMSHR {
-			t.mshr.Acquire(p)
-			if t.pending.locked(la) {
-				t.mshr.Release()
-				t.pending.waitIfLocked(p, la)
-				continue
-			}
-		}
-		tok := t.pending.lock(la)
-		fetchStart := p.Now()
-		data, meta := h.fetchLine(p, tileID, a, o)
-		if h.tracer != nil {
-			h.tracer.EmitSpan(fetchStart, p.Now(), h.comp.l2[tileID], "l2.miss", la.String())
-		}
-		meta.engine = o.engine
-		// Everything except private phantom lines went through the home
-		// directory, which registered us as a sharer (and owner, for
-		// writes) during the fetch.
-		viaHome := !(meta.morph && meta.phantom)
-		if allocL2 {
-			// The L2 copy stays clean: dirtiness is tracked at the
-			// writing L1 and merged down on eviction, so a stale L2
-			// copy can never masquerade as the newest data.
-			l2meta := meta
-			l2meta.dirty = false
-			for !h.insertL2(tileID, a, &data, l2meta) {
-				p.Sleep(1)
-			}
-		}
-		if !o.prefetch {
-			topMeta := meta
-			topMeta.morph = false
-			h.fillTop(tileID, a, &data, topMeta, o.engine)
-		}
-		if viaHome && !h.dirStillGrants(tileID, la, o.write) {
-			// The insertL2 retry loop slept with the fetched line in
-			// flight, where a concurrent RMO, NT store, back-inval, or
-			// downgrade could not see it. The directory no longer
-			// grants this tile the line: the just-installed copies are
-			// stale, so drop them and retry the whole access.
-			top.ExtractLine(la)
-			t.l2.ExtractLine(la)
-			h.removeSharerIfNoCopies(tileID, la)
-			lockFut := t.pending.unlock(la, tok)
-			if usedMSHR {
-				t.mshr.Release()
-			}
-			h.completeLock(lockFut)
-			continue
-		}
-		lockFut := t.pending.unlock(la, tok)
-		if usedMSHR {
-			t.mshr.Release()
-		}
-		h.completeLock(lockFut)
-		if o.prefetch {
-			return t.l2.Lookup(a)
-		}
-		if ls := top.Lookup(a); ls != nil {
-			if o.write {
-				h.snoopSibling(tileID, la, o.engine)
-			}
-			return ls
-		}
-		// Extremely rare: our fill was evicted before we returned.
+	x := h.getTxn()
+	x.h, x.p, x.kind = h, p, kindAccess
+	x.tileID, x.a, x.la, x.o = tileID, a, la, o
+	x.t = t
+	x.top = t.l1
+	if o.engine {
+		x.top = t.el1
 	}
+	x.run()
+	ls := x.result
+	h.putTxn(x)
+	return ls
 }
 
 // snoopSibling keeps the core and engine L1ds within a tile coherent: a
@@ -400,202 +214,45 @@ func (h *Hierarchy) lockHomeLine(p *sim.Proc, la mem.Addr) uint64 {
 }
 
 // unlockHomeLine releases the home-line lock taken by lockHomeLine and
-// wakes any queued waiters.
+// wakes any queued waiters. Home-line locks are never superseded (every
+// taker waits its turn), so a stale token here is a protocol bug and
+// panics with the line, home tile, cycle, and both tokens.
 func (h *Hierarchy) unlockHomeLine(la mem.Addr, tok uint64) {
 	hm := h.tiles[h.HomeTile(la)]
-	h.completeLock(hm.l3pending.unlock(la, tok))
+	h.completeLock(hm.l3pending.mustUnlock(la, tok))
 }
 
 // upgrade obtains write permission for la on tileID: if other tiles hold
-// copies, they are invalidated through the home directory. It serializes
-// through the home-line lock: a concurrent fetch may have copied data
-// that is still in flight, and its copy must be visible for invalidation
-// before ownership changes hands.
+// copies, they are invalidated through the home directory. It runs as a
+// kindUpgrade transaction, serialized through the home-line lock: a
+// concurrent fetch may have copied data that is still in flight, and its
+// copy must be visible for invalidation before ownership changes hands.
 func (h *Hierarchy) upgrade(p *sim.Proc, tileID int, la mem.Addr) {
-	tok := h.lockHomeLine(p, la)
-	defer h.unlockHomeLine(la, tok)
-	e := h.dir.get(la)
-	if e == nil || e.owner == tileID {
-		return
-	}
-	if e.sharers == 1<<uint(tileID) {
-		e.owner = tileID // sole sharer: silent upgrade
-		h.debugCheckFresh(tileID, la, "silent-upgrade")
-		return
-	}
 	home := h.HomeTile(la)
-	hm := h.tiles[home]
-	h.hot.cohUpgrades.Inc()
-	var maxLat sim.Cycle
-	for s := 0; s < h.cfg.Tiles; s++ {
-		if s == tileID || !e.has(s) {
-			continue
-		}
-		data, dirty, present := h.invalidatePrivate(s, la)
-		if !present {
-			e.remove(s)
-			continue
-		}
-		h.hot.cohInvalidations.Inc()
-		if dirty {
-			if ls3 := hm.l3.Lookup(la); ls3 != nil {
-				ls3.Data = data
-				ls3.Dirty = true
-				if h.freshChecks {
-					h.debugLogHome(la, fmt.Sprintf("upgrade-merge(from=%d)", s), data.U64(16))
-				}
-			}
-		}
-		lat := h.Mesh.Transfer(home, s, 8) + h.Mesh.Transfer(s, home, 8)
-		if lat > maxLat {
-			maxLat = lat
-		}
-		e.remove(s)
-	}
-	e.add(tileID)
-	e.owner = tileID
-	if h.freshChecks {
-		h.debugLogHome(la, fmt.Sprintf("upgrade-grant(%d)", tileID), 0)
-	}
-	h.debugCheckFresh(tileID, la, "upgrade")
-	h.event("upgrade")
-	p.Sleep(h.Mesh.Latency(tileID, home, 8) + maxLat + h.Mesh.Latency(home, tileID, 8))
+	x := h.getTxn()
+	x.h, x.p, x.kind = h, p, kindUpgrade
+	x.tileID, x.a, x.la = tileID, la, la
+	x.home, x.hm = home, h.tiles[home]
+	x.run()
+	h.putTxn(x)
 }
 
-// fetchLine obtains a's line for tileID's private domain on an L2 miss:
-// either by invoking a PRIVATE Morph's onMiss (phantom lines never touch
-// the levels below, §4.3) or from the shared level.
-func (h *Hierarchy) fetchLine(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) (mem.Line, fillMeta) {
-	la := a.Line()
-	if h.registry != nil {
-		if b, ok := h.registry.Binding(a); ok && b.Level == LevelPrivate {
-			// Pooled buffer: the runner interface call would make a
-			// stack local escape per private Morph miss.
-			buf := h.getLineBuf()
-			if !b.Phantom {
-				// Real-address Morph: read backing data (the
-				// paper overlaps this with the callback; we
-				// serialize, see DESIGN.md).
-				*buf = h.fetchFromHome(p, tileID, a, o)
-			} else {
-				h.PhantomMissFills++
-			}
-			if b.HasMiss && h.runner != nil {
-				h.hot.cb[CbMiss].Inc()
-				h.Trace(h.comp.l2[tileID], "cb.onMiss", la.String())
-				_, done := h.runner.Run(tileID, CbMiss, b, la, buf)
-				p.Wait(done)
-			}
-			line := *buf
-			h.putLineBuf(buf)
-			return line, fillMeta{morph: true, phantom: b.Phantom, dirty: o.write}
-		}
-	}
-	line := h.fetchFromHome(p, tileID, a, o)
-	return line, fillMeta{dirty: o.write}
-}
-
-// fetchFromHome performs the shared-level access for a private miss:
-// request to the home bank, L3 lookup (with SHARED Morph onMiss or DRAM
-// fill on miss), directory action, and the data response.
-func (h *Hierarchy) fetchFromHome(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) mem.Line {
+// fetchFromHome performs the shared-level access for a private miss as a
+// kindHomeFetch transaction: request to the home bank, L3 lookup (with
+// SHARED Morph onMiss or DRAM fill on miss), directory action, and the
+// data response into out.
+func (h *Hierarchy) fetchFromHome(p *sim.Proc, tileID int, a mem.Addr, o accessOpts, out *mem.Line) {
 	la := a.Line()
 	home := h.HomeTile(a)
-	hm := h.tiles[home]
-	homeStart := p.Now()
-	spanKind := "l3.hit"
-	if h.tracer != nil {
-		// One span per home-bank service on the bank's track: request
-		// arrival through data response (covers queueing on the home
-		// line, DRAM fills, and SHARED callbacks).
-		defer func() {
-			h.tracer.EmitSpan(homeStart, p.Now(), h.comp.l3[home], spanKind, la.String())
-		}()
-	}
-	p.Sleep(h.Mesh.Transfer(tileID, home, 8))
-	for hm.l3pending.waitIfLocked(p, la) {
-	}
-	tok := hm.l3pending.lock(la)
-
-	h.Meter.Add(energy.L3Access, 1)
-	p.Sleep(h.cfg.L3TagLat)
-	ls3 := hm.l3.Lookup(a)
-	if ls3 == nil {
-		hm.l3.Stats.Misses++
-		h.hot.l3Misses.Inc()
-		spanKind = "l3.miss"
-		// Pooled fill buffer: the line is threaded through interface
-		// calls (DRAM, Morph runner), so a stack local would escape on
-		// every miss.
-		line := h.getLineBuf()
-		// Engine fills and prefetched lines insert at distant
-		// re-reference priority in the shared cache (trrîp, §5.2):
-		// streamed-once data should not displace reused lines.
-		meta := fillMeta{engine: o.engine || o.prefetch}
-		handled := false
-		if h.registry != nil {
-			if b, ok := h.registry.Binding(a); ok && b.Level == LevelShared {
-				if b.Phantom {
-					h.PhantomMissFills++
-				} else {
-					h.DRAM.ReadLineWait(p, la, line)
-				}
-				if b.HasMiss && h.runner != nil {
-					h.hot.cb[CbMiss].Inc()
-					h.Trace(h.comp.l3[home], "cb.onMiss", la.String())
-					_, done := h.runner.Run(home, CbMiss, b, la, line)
-					p.Wait(done)
-				}
-				meta.morph, meta.phantom = true, b.Phantom
-				// Morph lines are demand-bound even when a prefetch
-				// materialized them: insert at normal priority (only
-				// true engine-port fills demote).
-				meta.engine = o.engine
-				handled = true
-			}
-		}
-		if !handled {
-			h.DRAM.ReadLineWait(p, la, line)
-		}
-		for !h.insertL3(home, a, line, meta) {
-			p.Sleep(1)
-		}
-		ls3 = hm.l3.Lookup(a)
-		if ls3 == nil {
-			// Our fill was immediately victimized; serve the data
-			// we fetched without caching it. The home line stays
-			// locked until the response lands so no other writer
-			// can race the in-flight data.
-			data := *line
-			h.putLineBuf(line)
-			if merged := h.dirAction(p, tileID, la, o, nil); merged != nil {
-				data = *merged
-			}
-			p.Sleep(h.Mesh.Transfer(home, tileID, mem.LineSize))
-			h.completeLock(hm.l3pending.unlock(la, tok))
-			return data
-		}
-		h.putLineBuf(line)
-	} else {
-		hm.l3.Stats.Hits++
-		h.hot.l3Hits.Inc()
-		// Lock the line before the data-array sleep so a concurrent
-		// insert cannot victimize it mid-access.
-		ls3.Locked = true
-		p.Sleep(h.cfg.L3DataLat)
-		hm.l3.Touch(a)
-	}
-	ls3.Locked = true
-	h.dirAction(p, tileID, la, o, ls3)
-	data := ls3.Data
-	// Hold the home-line lock through the data response: releasing
-	// earlier would let another requester modify the line while our
-	// (now stale) copy is still in flight, losing its update when we
-	// install the copy.
-	p.Sleep(h.Mesh.Transfer(home, tileID, mem.LineSize))
-	ls3.Locked = false
-	h.completeLock(hm.l3pending.unlock(la, tok))
-	return data
+	x := h.getTxn()
+	x.h, x.p, x.kind = h, p, kindHomeFetch
+	x.tileID, x.a, x.la, x.o = tileID, a, la, o
+	x.home, x.hm = home, h.tiles[home]
+	x.homeStart, x.spanKind = p.Now(), "l3.hit"
+	x.tracing = h.tracer != nil
+	x.run()
+	*out = x.data
+	h.putTxn(x)
 }
 
 // dirAction performs the directory side of a fetch: invalidations for

@@ -48,16 +48,19 @@ func (h *Hierarchy) flushPrivate(p *sim.Proc, tileID int, region mem.Region, fut
 		}
 		progressed := false
 		for _, la := range lines {
-			if t.pending.waitIfLocked(p, la) {
-				continue
+			// Each line is evicted by a kindFlushEvict transaction: one
+			// lock check (a locked line is skipped this pass), extract,
+			// and the eviction pipeline.
+			x := h.getTxn()
+			x.h, x.p, x.kind = h, p, kindFlushEvict
+			x.tileID, x.la = tileID, la
+			x.t = t
+			x.futs = futs
+			x.run()
+			if x.evicted {
+				progressed = true
 			}
-			ls, ok := t.l2.ExtractLine(la)
-			if !ok {
-				continue
-			}
-			progressed = true
-			h.hot.flushLines.Inc()
-			h.handleL2Eviction(tileID, ls, futs)
+			h.putTxn(x)
 		}
 		if !progressed {
 			p.Sleep(1)
@@ -90,16 +93,17 @@ func (h *Hierarchy) flushBank(p *sim.Proc, bankID int, region mem.Region, futs *
 		}
 		progressed := false
 		for _, la := range lines {
-			if hm.l3pending.waitIfLocked(p, la) {
-				continue
+			x := h.getTxn()
+			x.h, x.p, x.kind = h, p, kindFlushEvict
+			x.flushBank = true
+			x.tileID, x.la = bankID, la
+			x.home, x.hm = bankID, hm
+			x.futs = futs
+			x.run()
+			if x.evicted {
+				progressed = true
 			}
-			ls, ok := hm.l3.ExtractLine(la)
-			if !ok {
-				continue
-			}
-			progressed = true
-			h.hot.flushLines.Inc()
-			h.handleL3Eviction(bankID, ls, futs)
+			h.putTxn(x)
 		}
 		if !progressed {
 			p.Sleep(1)

@@ -259,6 +259,11 @@ type tile struct {
 	pending lockTable
 	// l3pending serializes home-bank operations on a line.
 	l3pending lockTable
+	// l3Busy is the preallocated victim-selection predicate handed to
+	// the L3 bank: a line whose home-line lock is held is mid
+	// transaction and must not be victimized, or the eviction callback
+	// runs on a snapshot the transaction is about to supersede.
+	l3Busy func(tag mem.Addr) bool
 
 	rmoInflight *sim.WaitGroup
 
@@ -320,31 +325,15 @@ type Hierarchy struct {
 	wbTimingFn  func(p *sim.Proc, a0, a1 uint64)
 	protectedFn func(tag mem.Addr) bool
 
-	// lineBufs pools fill-buffer lines for the miss paths: the buffer is
-	// threaded through interface calls (DRAM read, Morph runner), which
-	// makes a stack local escape on every miss. Buffers are handed out
-	// zeroed, used by exactly one running proc, and returned on exit.
-	lineBufs []*mem.Line
-}
-
-// getLineBuf returns a zeroed line buffer (semantics of `var line
-// mem.Line`) from the pool.
-func (h *Hierarchy) getLineBuf() *mem.Line {
-	if n := len(h.lineBufs); n > 0 {
-		b := h.lineBufs[n-1]
-		h.lineBufs[n-1] = nil
-		h.lineBufs = h.lineBufs[:n-1]
-		*b = mem.Line{}
-		return b
-	}
-	return new(mem.Line)
-}
-
-// putLineBuf returns a buffer whose contents have been copied out.
-func (h *Hierarchy) putLineBuf(b *mem.Line) {
-	if len(h.lineBufs) < 64 {
-		h.lineBufs = append(h.lineBufs, b)
-	}
+	// txnPool recycles coherence-transaction objects (txn.go): each
+	// access, home fetch, RMO, NT store, upgrade, and flush eviction
+	// drives one, and pooling them (with their embedded line buffers,
+	// which are threaded through interface calls and would otherwise
+	// escape) keeps the hot path allocation-free.
+	txnPool []*txn
+	// txnCounts is the transaction state-machine coverage table:
+	// observed transitions per (kind, from, to). Read via TxnCoverage.
+	txnCounts [nTxnKinds][nTxnStates][nTxnStates]uint64
 }
 
 // New builds a hierarchy. registry and runner may be nil (no Morphs).
@@ -427,8 +416,9 @@ func New(k *sim.Kernel, cfg Config, meter *energy.Meter, registry Registry, runn
 				HitLatency: 0, WalkLatency: 30,
 			}),
 		}
-		t.pending.init(k)
-		t.l3pending.init(k)
+		t.pending.init(k, fmt.Sprintf("pending@%d", i))
+		t.l3pending.init(k, fmt.Sprintf("home@%d", i))
+		t.l3Busy = func(tag mem.Addr) bool { return t.l3pending.locked(tag) }
 		t.pending.tbl.SetProbeStats(mshrProbes)
 		t.l3pending.tbl.SetProbeStats(homeProbes)
 		h.tiles = append(h.tiles, t)

@@ -169,10 +169,14 @@ func (h *Hierarchy) insertL3(homeID int, a mem.Addr, data *mem.Line, meta fillMe
 	constraint := cache.VictimConstraint{
 		CallbackFree: hm.wbbuf.Saturated(),
 		Avoid:        h.protectedHint(),
+		Busy:         hm.l3Busy,
 	}
 	way, ok := hm.l3.ChooseVictimForInsert(a, opts, constraint)
 	if !ok {
-		way, ok = hm.l3.ChooseVictimForInsert(a, opts, cache.VictimConstraint{})
+		// Retry without the advisory protection hint; Busy is a hard
+		// constraint and stays. Failing outright is safe — the filling
+		// transaction retries after a cycle.
+		way, ok = hm.l3.ChooseVictimForInsert(a, opts, cache.VictimConstraint{Busy: hm.l3Busy})
 	}
 	if !ok {
 		return false
@@ -277,7 +281,7 @@ func (h *Hierarchy) morphEvictShared(homeID int, ev cache.LineState, b Binding, 
 		p.Wait(accepted)
 		hm.wbbuf.Release()
 		p.Wait(done)
-		hm.l3pending.unlock(la, tok)
+		hm.l3pending.mustUnlock(la, tok)
 		lock.Complete()
 		h.cbInflight.Done()
 	})

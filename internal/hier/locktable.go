@@ -1,6 +1,8 @@
 package hier
 
 import (
+	"fmt"
+
 	"tako/internal/flat"
 	"tako/internal/mem"
 	"tako/internal/sim"
@@ -21,9 +23,10 @@ import (
 //     pointer equality, so the conditional-release idiom ("delete only
 //     if the entry is still mine") ports directly.
 type lockTable struct {
-	k   *sim.Kernel
-	tbl flat.Table[lockEntry]
-	seq uint64
+	k    *sim.Kernel
+	name string // diagnostic identity, e.g. "pending@3" or "home@3"
+	tbl  flat.Table[lockEntry]
+	seq  uint64
 }
 
 // lockEntry is one held line lock: the identifying token and the future
@@ -33,7 +36,10 @@ type lockEntry struct {
 	fut *sim.Future
 }
 
-func (lt *lockTable) init(k *sim.Kernel) { lt.k = k }
+func (lt *lockTable) init(k *sim.Kernel, name string) {
+	lt.k = k
+	lt.name = name
+}
 
 // locked reports whether la is currently locked.
 func (lt *lockTable) locked(la mem.Addr) bool {
@@ -58,9 +64,16 @@ func (lt *lockTable) waitIfLocked(p *sim.Proc, la mem.Addr) bool {
 	return true
 }
 
-// lock takes la's lock (which must be free) and returns the token that
-// releases it.
+// lock takes la's lock (which must be free — callers drain waiters with
+// waitIfLocked first) and returns the token that releases it. Taking an
+// already-held lock is a protocol bug, not a race to tolerate: the
+// holder's unlock would silently miss and strand its waiters.
 func (lt *lockTable) lock(la mem.Addr) uint64 {
+	if e := lt.tbl.Ref(uint64(la)); e != nil {
+		panic(fmt.Sprintf(
+			"hier: %s: lock of line %v at cycle %d, but token %d already holds it",
+			lt.name, la, lt.k.Now(), e.seq))
+	}
 	return lt.lockWith(la, nil)
 }
 
@@ -77,10 +90,35 @@ func (lt *lockTable) lockWith(la mem.Addr, fut *sim.Future) uint64 {
 // unlock releases la's lock if tok still identifies it, returning the
 // entry's future — which the caller must Complete to wake waiters —
 // or nil when no waiter ever materialized (or the lock was overwritten).
+// Use mustUnlock on paths where the lock cannot legitimately have been
+// replaced; this tolerant form is for the conditional-release idiom
+// ("delete only if the entry is still mine") on the private pending
+// table, whose fill entries callback locks deliberately supersede.
 func (lt *lockTable) unlock(la mem.Addr, tok uint64) *sim.Future {
 	e := lt.tbl.Ref(uint64(la))
 	if e == nil || e.seq != tok {
 		return nil
+	}
+	fut := e.fut
+	lt.tbl.Delete(uint64(la))
+	return fut
+}
+
+// mustUnlock is unlock for locks that are never superseded (the home
+// tables): a missing entry or token mismatch means two operations
+// believed they owned the same line, so it panics with enough context —
+// table, line, cycle, both tokens — to reconstruct the interleaving.
+func (lt *lockTable) mustUnlock(la mem.Addr, tok uint64) *sim.Future {
+	e := lt.tbl.Ref(uint64(la))
+	if e == nil {
+		panic(fmt.Sprintf(
+			"hier: %s: unlock of line %v with token %d at cycle %d, but the line is not locked",
+			lt.name, la, tok, lt.k.Now()))
+	}
+	if e.seq != tok {
+		panic(fmt.Sprintf(
+			"hier: %s: unlock of line %v with token %d at cycle %d, but token %d holds the lock (lock was retaken or clobbered)",
+			lt.name, la, tok, lt.k.Now(), e.seq))
 	}
 	fut := e.fut
 	lt.tbl.Delete(uint64(la))

@@ -3,8 +3,6 @@ package hier
 import (
 	"fmt"
 
-	"tako/internal/cache"
-	"tako/internal/energy"
 	"tako/internal/mem"
 	"tako/internal/sim"
 )
@@ -77,121 +75,21 @@ func (h *Hierarchy) AtomicRMOSync(p *sim.Proc, tileID int, a mem.Addr, op RMOOp,
 	h.runRMO(p, tileID, a, op, v)
 }
 
-// runRMO executes the add at the home bank. Misses on SHARED Morph lines
-// trigger onMiss (phantom lines are materialized in-cache with no memory
-// access — PHI's key property); plain lines are fetched from DRAM.
+// runRMO executes the add at the home bank as a kindRMO transaction.
+// Misses on SHARED Morph lines trigger onMiss (phantom lines are
+// materialized in-cache with no memory access — PHI's key property);
+// plain lines are fetched from DRAM.
 func (h *Hierarchy) runRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, delta uint64) {
 	la := a.Line()
 	home := h.HomeTile(a)
-	hm := h.tiles[home]
-	p.Sleep(h.Mesh.Transfer(tileID, home, 16)) // address + operand
-	for hm.l3pending.waitIfLocked(p, la) {
-	}
-	tok := hm.l3pending.lock(la)
-	defer h.unlockHomeLine(la, tok)
-
-	h.Meter.Add(energy.L3Access, 1)
-	p.Sleep(h.cfg.L3TagLat)
-	ls3 := hm.l3.Lookup(a)
-	if ls3 == nil {
-		h.hot.rmoMisses.Inc()
-		// Pooled fill buffer (see fetchFromHome): interface calls would
-		// make a stack local escape per RMO miss.
-		line := h.getLineBuf()
-		defer h.putLineBuf(line)
-		meta := fillMeta{}
-		handled := false
-		if h.registry != nil {
-			if b, ok := h.registry.Binding(a); ok && b.Level == LevelShared {
-				if b.Phantom {
-					h.PhantomMissFills++
-				} else {
-					h.DRAM.ReadLineWait(p, la, line)
-				}
-				if b.HasMiss && h.runner != nil {
-					h.hot.cb[CbMiss].Inc()
-					_, done := h.runner.Run(home, CbMiss, b, la, line)
-					p.Wait(done)
-				}
-				meta.morph, meta.phantom = true, b.Phantom
-				handled = true
-			}
-		}
-		if !handled {
-			h.DRAM.ReadLineWait(p, la, line)
-		}
-		for !h.insertL3(home, a, line, meta) {
-			p.Sleep(1)
-		}
-		ls3 = hm.l3.Lookup(a)
-		if ls3 == nil {
-			// Fill immediately victimized under extreme pressure:
-			// invalidate any private copies (merging dirty data) and
-			// apply the update straight to memory.
-			if e := h.dir.get(la); e != nil {
-				for s := 0; s < h.cfg.Tiles; s++ {
-					if e.has(s) {
-						if data, dirty, _ := h.invalidatePrivate(s, la); dirty {
-							*line = data
-						}
-						e.remove(s)
-					}
-				}
-				h.dir.delete(la)
-			}
-			off := a.Offset() &^ 7
-			old := line.U64(off)
-			line.SetU64(off, op.apply(old, delta))
-			h.DRAM.WriteLineNoWait(la, line)
-			if h.obs != nil {
-				h.obs.RMOCommitted(tileID, a, op, delta, old, op.apply(old, delta))
-			}
-			h.event("rmo.bypass")
-			return
-		}
-	} else {
-		h.hot.rmoHits.Inc()
-		// Lock before the data-array sleep so a concurrent insert
-		// cannot victimize the line mid-update.
-		ls3.Locked = true
-		p.Sleep(h.cfg.L3DataLat)
-		hm.l3.Touch(a)
-	}
-	ls3.Locked = true
-	defer unlockLine(ls3)
-	// Invalidate stale private copies so the home copy is authoritative.
-	if e := h.dir.get(la); e != nil {
-		for s := 0; s < h.cfg.Tiles; s++ {
-			if e.has(s) {
-				if data, dirty, present := h.invalidatePrivate(s, la); present {
-					h.hot.cohInvalidations.Inc()
-					if dirty {
-						ls3.Data = data
-					}
-					h.Mesh.Transfer(home, s, 8)
-				}
-				e.remove(s)
-			}
-		}
-		e.owner = -1
-		h.dir.delete(la)
-	}
-	off := a.Offset() &^ 7
-	old := ls3.Data.U64(off)
-	ls3.Data.SetU64(off, op.apply(old, delta))
-	ls3.Dirty = true
-	if h.freshChecks {
-		h.debugLogHome(la, fmt.Sprintf("rmo-commit(from=%d)", tileID), ls3.Data.U64(16))
-	}
-	if h.obs != nil {
-		h.obs.RMOCommitted(tileID, a, op, delta, old, op.apply(old, delta))
-	}
-	h.event("rmo.commit")
+	x := h.getTxn()
+	x.h, x.p, x.kind = h, p, kindRMO
+	x.tileID, x.a, x.la = tileID, a, la
+	x.home, x.hm = home, h.tiles[home]
+	x.op, x.val = op, delta
+	x.run()
+	h.putTxn(x)
 }
-
-// unlockLine clears a line's callback/victim lock; used as a deferred
-// call (plain function + args, so the defer doesn't allocate a closure).
-func unlockLine(ls *cache.LineState) { ls.Locked = false }
 
 // DrainRMOs blocks until every RMO issued by tileID has completed (used
 // before flushData so no update is lost, §8.1).

@@ -42,7 +42,13 @@ const (
 	// Derived is a read-only phantom range computed from a real source
 	// region; the shadow holds the precomputed transform.
 	Derived
-	// Untracked data (e.g. a callback-written journal) is ignored.
+	// Journal is callback-written data (engine stores around the L2):
+	// transient loads are unchecked — a load can race the callback's
+	// store commit against its shadow mirror — but the final sweep
+	// verifies no journaled write was dropped (per-line writebacks are
+	// serialized by the line lock, so the final state is well-defined).
+	Journal
+	// Untracked data is ignored.
 	Untracked
 )
 
@@ -54,6 +60,8 @@ func (k RegionKind) String() string {
 		return "shadow-phantom"
 	case Derived:
 		return "derived"
+	case Journal:
+		return "journal"
 	default:
 		return "untracked"
 	}
@@ -280,13 +288,13 @@ func (o *Oracle) CheckEvictedLine(op string, tile int, la mem.Addr, line *mem.Li
 	}
 }
 
-// VerifyFinal sweeps every tracked Plain region, comparing the
-// architecturally-newest hierarchy value of each word against the
+// VerifyFinal sweeps every tracked Plain and Journal region, comparing
+// the architecturally-newest hierarchy value of each word against the
 // shadow, and runs a last full invariant check. Call it after the
 // simulation quiesces.
 func (o *Oracle) VerifyFinal() {
 	for _, t := range o.regions {
-		if t.kind != Plain {
+		if t.kind != Plain && t.kind != Journal {
 			continue
 		}
 		for i := uint64(0); i < t.region.Size/8; i++ {

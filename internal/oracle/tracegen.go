@@ -27,6 +27,22 @@ type TraceConfig struct {
 	// Script, when non-empty, replaces the seeded generator: each 6
 	// bytes decode one operation (fuzzing entry point).
 	Script []byte
+	// Chooser, when non-nil, is installed on the kernel to resolve
+	// same-cycle scheduling ties (the interleaving explorer's hook). If
+	// it implements Arm(), it is armed once Morph setup completes, so
+	// choice points cover the operation mix rather than setup plumbing.
+	Chooser sim.Chooser
+	// RecoverPanics converts a panic raised during the run (coherence
+	// assertion, invariant check, illegal transaction transition) into
+	// an error return instead of crashing, after unwinding the
+	// simulation's processes. Exploration runs set this.
+	RecoverPanics bool
+	// RealMorph additionally registers an identity PRIVATE Morph over
+	// the realA region: values are unchanged (the oracle still checks
+	// them against the shadow), but every miss now runs an onMiss
+	// callback between the home grant and the private install — the
+	// in-flight window that mid-install revocation races live in.
+	RealMorph bool
 }
 
 // DefaultTraceConfig returns a config exercising 4 tiles with heavy
@@ -79,6 +95,7 @@ const (
 	rDerived         // read-only SHARED phantom computed from rSrcC
 	rPhantomS        // read-write SHARED phantom backed by the shadow
 	rPhantomP        // per-tile PRIVATE phantom backed by the shadow
+	rJournal         // writeback journal (untracked; flush/load only)
 	nRegions
 )
 
@@ -86,7 +103,7 @@ const (
 // 64 lines and an L3 bank 256, so the combined working set overflows
 // both and every path (fills, evictions, callbacks, writebacks) runs
 // constantly.
-var regionLines = [nRegions]uint64{64, 128, 32, 32, 96, 32}
+var regionLines = [nRegions]uint64{64, 128, 32, 32, 96, 32, 128}
 
 const derivedXOR = 0x5ee0_5ee0_5ee0_5ee0
 
@@ -121,6 +138,9 @@ func RunTrace(cfg TraceConfig) (*TraceResult, error) {
 	scfg := system.Scaled(cfg.Tiles, cfg.CacheScale)
 	scfg.Hier.FreshChecks = true
 	s := system.New(scfg)
+	if cfg.Chooser != nil {
+		s.K.SetChooser(cfg.Chooser)
+	}
 	o := New(s.H)
 	o.CheckEvery = cfg.CheckEvery
 
@@ -147,12 +167,30 @@ func RunTrace(cfg TraceConfig) (*TraceResult, error) {
 			if regErr != nil {
 				return
 			}
+			// Arm the chooser (idempotent) only once setup is done:
+			// exploration budgets then cover the operation mix, drain,
+			// and flush phases instead of registration plumbing.
+			if a, ok := cfg.Chooser.(interface{ Arm() }); ok {
+				a.Arm()
+			}
 			for _, one := range ops[t] {
 				hn.exec(p, c, t, one)
 			}
 			c.DrainRMOs(p)
 			bar.Arrive(p)
 			if t == 0 {
+				if cfg.RealMorph {
+					// The identity Morph is PRIVATE to tile 0, but other
+					// tiles' fills of realA also carried the Morph bit;
+					// Unregister's flush covers only tile 0's domain, so
+					// sweep the remaining private domains explicitly —
+					// and BEFORE Unregister drops the binding, or the
+					// periodic invariant check can observe those tiles'
+					// Morph-bit lines with no live binding.
+					for tt := 1; tt < cfg.Tiles; tt++ {
+						s.H.FlushRegion(p, tt, hn.regs[rRealA].r, hier.LevelPrivate)
+					}
+				}
 				// Unregister flushes every Morph's data (callbacks
 				// verify evicted lines against the shadow) before
 				// the final sweep.
@@ -162,7 +200,10 @@ func RunTrace(cfg TraceConfig) (*TraceResult, error) {
 			}
 		})
 	}
-	cycles := s.Run()
+	cycles, runErr := runSystem(s, cfg.RecoverPanics)
+	if runErr != nil {
+		return nil, runErr
+	}
 	if regErr != nil {
 		return nil, regErr
 	}
@@ -177,6 +218,27 @@ func RunTrace(cfg TraceConfig) (*TraceResult, error) {
 	return res, nil
 }
 
+// runSystem runs the simulation to completion. With recoverPanics set,
+// a panic raised during the run — a coherence assertion, an invariant
+// check, an illegal transaction transition — is converted into an error
+// after Kernel.Shutdown unwinds the abandoned processes, so exploration
+// can treat "this schedule crashed" as a finding rather than dying.
+func runSystem(s *system.System, recoverPanics bool) (cycles sim.Cycle, err error) {
+	if recoverPanics {
+		defer func() {
+			if r := recover(); r != nil {
+				s.K.Shutdown()
+				if pp, ok := r.(*sim.ProcPanic); ok {
+					err = fmt.Errorf("panic in proc %q: %v", pp.Proc, pp.Value)
+				} else {
+					err = fmt.Errorf("panic: %v", r)
+				}
+			}
+		}()
+	}
+	return s.Run(), nil
+}
+
 // layout allocates the real regions, seeds memory and shadow with a
 // deterministic pattern, and tracks everything with the oracle.
 func (hn *harness) layout() {
@@ -187,7 +249,7 @@ func (hn *harness) layout() {
 	realA := alloc("oracle.realA", rRealA)
 	realB := alloc("oracle.realB", rRealB)
 	srcC := alloc("oracle.srcC", rSrcC)
-	hn.journal = s.Alloc("oracle.journal", 128*mem.LineSize)
+	hn.journal = alloc("oracle.journal", rJournal)
 
 	seed := func(r mem.Region, salt uint64) {
 		for i := uint64(0); i < r.Size/8; i++ {
@@ -203,10 +265,19 @@ func (hn *harness) layout() {
 	hn.regs[rRealA] = hregion{realA, true, true, hier.LevelNone}
 	hn.regs[rRealB] = hregion{realB, true, true, hier.LevelNone}
 	hn.regs[rSrcC] = hregion{srcC, false, false, hier.LevelNone}
+	// The journal is flushable and loadable but never a direct store
+	// target: callbacks own its contents (engine stores around the L2),
+	// so core ops against it exercise the around-L2 flush and sibling
+	// migration paths without confusing the shadow.
+	hn.regs[rJournal] = hregion{hn.journal, false, false, hier.LevelNone}
 	o.Track(realA, Plain)
 	o.Track(realB, Plain)
 	o.Track(srcC, Plain)
-	o.Track(hn.journal, Untracked)
+	// Journal kind: loads are unchecked (they race the callback's
+	// store/mirror pair) but the final sweep verifies that no journaled
+	// write was dropped — each phantom line maps to its own slot, and
+	// writebacks of one line are serialized by its line lock.
+	o.Track(hn.journal, Journal)
 }
 
 // register installs the harness Morphs: the shadow-backed SHARED and
@@ -258,6 +329,21 @@ func (hn *harness) register(p *sim.Proc) error {
 		hn.seedShadow(pm.Region, 0x70+uint64(t))
 	}
 	hn.regs[rPhantomP] = hregion{mem.Region{}, true, false, hier.LevelPrivate}
+
+	if hn.cfg.RealMorph {
+		// Identity PRIVATE Morph over realA: onMiss leaves the fetched
+		// line untouched, so coherence and values are those of plain
+		// memory — but fills now sleep in the callback while the line
+		// is in flight between the home grant and the install.
+		rm, err := s.Tako.RegisterReal(p, core.MorphSpec{
+			Name:   "oracle.realIdent",
+			OnMiss: &core.Callback{Instrs: 6, CritPath: 3, Fn: func(c *engine.Ctx) {}},
+		}, core.Private, hn.regs[rRealA].r, 0)
+		if err != nil {
+			return err
+		}
+		hn.morphs = append(hn.morphs, rm)
+	}
 	return nil
 }
 
@@ -295,6 +381,10 @@ func (hn *harness) shadowSpec(name string, journal bool) core.MorphSpec {
 			o.Shadow().WriteLine(c.Addr, c.Line)
 			slot := (uint64(c.Addr) / mem.LineSize) % j.Lines()
 			c.StoreLine(j.At(slot*mem.LineSize), c.Line)
+			// Mirror into the shadow (engine stores bypass the
+			// observer): the line lock serializes this pair against
+			// other writebacks of the same phantom line.
+			o.Shadow().WriteLine(j.At(slot*mem.LineSize), c.Line)
 		}
 	}
 	return spec
@@ -371,7 +461,10 @@ func pickKind(rng *rand.Rand) opKind {
 }
 
 func pickRegion(rng *rand.Rand) int {
-	weights := [nRegions]int{25, 15, 10, 10, 25, 15}
+	// rJournal's weight is zero: the seeded generator predates it, and
+	// keeping it out preserves every seeded trace byte-for-byte. Scripts
+	// (fuzzing, exploration scenarios) target it explicitly.
+	weights := [nRegions]int{25, 15, 10, 10, 25, 15, 0}
 	total := 0
 	for _, w := range weights {
 		total += w

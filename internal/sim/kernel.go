@@ -58,7 +58,36 @@ type Kernel struct {
 	// references survive completion (DRAM transfers, lazy line-lock
 	// futures). See GetFuture/RecycleFuture.
 	futurePool []*Future
+
+	// chooser, when set, resolves same-cycle scheduling ties (see
+	// SetChooser); batch is its reusable scratch slice. nil on every
+	// normal run — the default schedule pays nothing for the hook.
+	chooser Chooser
+	batch   []event
+
+	// procPanic holds a panic captured on a Proc goroutine; dispatch
+	// re-raises it on the kernel goroutine so drivers can recover it.
+	procPanic *ProcPanic
 }
+
+// A Chooser resolves scheduling ties. When the kernel is about to run an
+// event and n ≥ 2 events share the minimum timestamp, it calls Choose(n)
+// and runs the i-th of them (counting in insertion order) first; the
+// remaining n-1 keep their relative order. Choose must return a value in
+// [0, n) — out-of-range values fall back to 0, and a chooser that always
+// returns 0 reproduces the kernel's default FIFO schedule exactly.
+//
+// Every schedule a Chooser can produce is a legal timing of the modeled
+// hardware: same-cycle events represent concurrent components whose
+// relative order the architecture does not define. The interleaving
+// explorer uses this hook to search those orders for coherence races.
+type Chooser interface {
+	Choose(n int) int
+}
+
+// SetChooser installs (or, with nil, removes) a scheduling-tie chooser.
+// Without one, same-cycle events run in insertion order.
+func (k *Kernel) SetChooser(c Chooser) { k.chooser = c }
 
 // NewKernel returns an empty kernel at cycle 0.
 func NewKernel() *Kernel {
@@ -117,7 +146,15 @@ func (k *Kernel) Step() bool {
 	if len(k.queue) == 0 {
 		return false
 	}
-	e := k.pop()
+	if k.chooser != nil {
+		return k.stepChoose()
+	}
+	k.exec(k.pop())
+	return true
+}
+
+// exec runs one dequeued event, advancing the clock to its time.
+func (k *Kernel) exec(e event) {
 	k.now = e.when
 	k.events++
 	switch {
@@ -135,6 +172,33 @@ func (k *Kernel) Step() bool {
 	default:
 		e.fn()
 	}
+}
+
+// stepChoose is Step with a chooser installed: pop every event tied at
+// the minimum time (in insertion order), let the chooser pick which one
+// runs, and reinsert the rest. Reinserted events keep their original
+// sequence numbers, so the unchosen events' relative order — and hence
+// the meaning of future choices — is unchanged by the pick.
+func (k *Kernel) stepChoose() bool {
+	b := append(k.batch[:0], k.pop())
+	for len(k.queue) > 0 && k.queue[0].when == b[0].when {
+		b = append(b, k.pop())
+	}
+	idx := 0
+	if len(b) > 1 {
+		if c := k.chooser.Choose(len(b)); c > 0 && c < len(b) {
+			idx = c
+		}
+	}
+	e := b[idx]
+	for i := range b {
+		if i != idx {
+			k.push(b[i])
+		}
+	}
+	clear(b) // don't pin closures from the scratch slice
+	k.batch = b[:0]
+	k.exec(e)
 	return true
 }
 
@@ -296,4 +360,33 @@ func (k *Kernel) Release() {
 		k.freeProcs[i] = nil
 	}
 	k.freeProcs = k.freeProcs[:0]
+}
+
+// Shutdown abandons an in-flight simulation: every parked process is
+// unwound (via an abort panic its worker loop swallows) and all pooled
+// goroutines are torn down, so a driver that recovered a *ProcPanic can
+// discard the kernel without leaking the goroutines of processes still
+// blocked mid-simulation. The kernel must not be stepped again after
+// Shutdown.
+func (k *Kernel) Shutdown() {
+	for _, p := range k.procs {
+		if p.done {
+			continue // pooled in freeProcs; Release retires it below
+		}
+		if !p.started {
+			// Never dispatched: the goroutine is parked at its loop head,
+			// where the exit flag retires it directly.
+			p.exit = true
+			p.resume <- struct{}{}
+			continue
+		}
+		// Parked mid-run: resume with abort set so block() unwinds the
+		// task. The worker loop swallows the abort and pools itself.
+		p.abort = true
+		p.resume <- struct{}{}
+		<-p.parked
+		p.abort = false
+	}
+	k.procPanic = nil
+	k.Release()
 }

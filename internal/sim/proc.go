@@ -1,5 +1,10 @@
 package sim
 
+import (
+	"fmt"
+	"runtime/debug"
+)
+
 // Proc is a simulated software thread. Procs run as goroutines, but the
 // kernel admits only one at a time: when a Proc blocks (Sleep, Wait), it
 // parks its goroutine and control returns to the kernel's event loop.
@@ -22,6 +27,7 @@ type Proc struct {
 	started bool
 	done    bool
 	exit    bool // set by Kernel.Release to retire the pooled goroutine
+	abort   bool // set by Kernel.Shutdown: block() unwinds the task
 
 	// Task slots: exactly one of fn/fnArgs is set while the proc runs.
 	// They live on the Proc so a pooled goroutine picks up its next task
@@ -93,11 +99,7 @@ func (p *Proc) loop() {
 		if p.exit {
 			return
 		}
-		if p.fn != nil {
-			p.fn(p)
-		} else {
-			p.fnArgs(p, p.a0, p.a1)
-		}
+		p.runTask()
 		p.fn, p.fnArgs = nil, nil
 		p.done = true
 		p.k.freeProcs = append(p.k.freeProcs, p)
@@ -105,20 +107,66 @@ func (p *Proc) loop() {
 	}
 }
 
+// ProcPanic wraps a panic raised on a Proc's goroutine. Procs run on
+// goroutines of their own, where an escaped panic would kill the whole
+// process unrecoverably; the worker loop captures it instead, and
+// dispatch re-raises the wrapped value on the kernel goroutine, where
+// drivers (tests, the interleaving explorer) can recover it. The
+// panicking goroutine's stack is preserved for crash reports.
+type ProcPanic struct {
+	Proc  string // name of the panicking process
+	Value any    // the original panic value
+	Stack []byte // stack of the panicking goroutine at capture
+}
+
+func (e *ProcPanic) Error() string {
+	return fmt.Sprintf("panic in proc %q: %v\n\n%s", e.Proc, e.Value, e.Stack)
+}
+
+// procAbort is the sentinel block() throws during Kernel.Shutdown to
+// unwind a parked task; runTask swallows it.
+type procAbort struct{}
+
+// runTask runs the proc's task, converting an escaping panic into a
+// captured ProcPanic for dispatch to re-raise.
+func (p *Proc) runTask() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procAbort); ok {
+				return
+			}
+			p.k.procPanic = &ProcPanic{Proc: p.name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if p.fn != nil {
+		p.fn(p)
+	} else {
+		p.fnArgs(p, p.a0, p.a1)
+	}
+}
+
 // dispatch hands control to the process and waits for it to park or
-// finish. Must be called from the kernel's event loop.
+// finish. Must be called from the kernel's event loop. A panic captured
+// while the process ran is re-raised here, on the kernel goroutine.
 func (p *Proc) dispatch() {
 	if p.done {
 		return
 	}
 	p.resume <- struct{}{}
 	<-p.parked
+	if pp := p.k.procPanic; pp != nil {
+		p.k.procPanic = nil
+		panic(pp)
+	}
 }
 
 // block parks the calling process until something dispatches it again.
 func (p *Proc) block() {
 	p.parked <- struct{}{}
 	<-p.resume
+	if p.abort {
+		panic(procAbort{})
+	}
 }
 
 // Kernel returns the kernel this process runs on.
