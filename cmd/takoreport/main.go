@@ -10,7 +10,11 @@
 // experiments' variant fan-outs and sensitivity sweeps run -j
 // simulations in parallel (default GOMAXPROCS); results always assemble
 // in variant order, so the report and all gated counts are byte-identical
-// at any -j. Runs are also memoized for the duration of the process:
+// at any -j. -tile-par N additionally partitions each simulation's event
+// kernel into N tile-sharded queues merged on the global (cycle,
+// sequence) key; like -j it never changes any output, so CI runs the
+// ops-golden gate at several -j/-tile-par combinations against one
+// golden. Runs are also memoized for the duration of the process:
 // paired figures drawn from the same simulations (fig6/fig7, fig13/fig14,
 // fig16/fig17, fig19/fig20) and sweeps that revisit an already-simulated
 // configuration share one run instead of recomputing. Per-experiment
@@ -63,8 +67,9 @@ type benchEntry struct {
 
 // benchReport is the document written by -bench.
 type benchReport struct {
-	Scale string `json:"scale"`
-	Jobs  int    `json:"jobs"`
+	Scale   string `json:"scale"`
+	Jobs    int    `json:"jobs"`
+	TilePar int    `json:"tile_par"` // kernel shard width each simulation ran with
 	// Aggregate perf trajectory: total report wall-clock vs the summed
 	// serial cost of every simulation executed or reused.
 	WallMS      float64      `json:"wall_ms"`
@@ -75,11 +80,12 @@ type benchReport struct {
 
 func main() {
 	var (
-		full  = flag.Bool("full", false, "run at full (slow) scale")
-		jobs  = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
-		out   = flag.String("out", "", "also write the report to this file")
-		skip  = flag.String("skip", "", "comma-separated experiment ids to skip")
-		bench = flag.String("bench", "", "write per-experiment metrics (JSON) to this file")
+		full    = flag.Bool("full", false, "run at full (slow) scale")
+		jobs    = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
+		tilePar = flag.Int("tile-par", 1, "tile queues to partition each simulation's event kernel into (1 = sequential single-queue kernel; the report is identical at any width)")
+		out     = flag.String("out", "", "also write the report to this file")
+		skip    = flag.String("skip", "", "comma-separated experiment ids to skip")
+		bench   = flag.String("bench", "", "write per-experiment metrics (JSON) to this file")
 
 		golden       = flag.String("golden", "", "compare each experiment's op count against this golden JSON (requires -bench)")
 		updateGolden = flag.Bool("update-golden", false, "rewrite the -golden file from this run instead of comparing")
@@ -96,6 +102,7 @@ func main() {
 	}
 
 	sched.SetWorkers(*jobs)
+	system.SetDefaultTilePar(*tilePar)
 	// The run cache is process-global and never evicts, so -skip only
 	// changes which figure of a pair simulates first — the survivors
 	// still share runs rather than recomputing.
@@ -187,6 +194,7 @@ func main() {
 		doc := benchReport{
 			Scale:       scale,
 			Jobs:        sched.Workers(),
+			TilePar:     *tilePar,
 			WallMS:      totalWall,
 			ExecMS:      totalExec,
 			Experiments: entries,

@@ -30,6 +30,13 @@
 // remain well-formed — sinks serialize writers — but spans from
 // concurrently-running systems interleave in file order; sort by the
 // process id (one per simulated system) when reading jsonl directly.
+//
+// -tile-par N partitions each simulation's event kernel into N
+// tile-sharded queues merged by the global (cycle, sequence) key, so
+// every output — tables, metrics, traces, explorer findings — is
+// byte-identical at any width. It composes with -j (and with -explore,
+// where -j parallelizes schedule evaluation): -j picks how many
+// simulations run at once, -tile-par how each one's queue is organized.
 package main
 
 import (
@@ -51,11 +58,12 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		id     = flag.String("exp", "", "experiment id to run (e.g. fig6, table2)")
-		full   = flag.Bool("full", false, "run at full (slow) scale instead of quick scale")
-		jobs   = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS; output is identical at any -j)")
-		verify = flag.Bool("verify", false, "run with coherence-freshness assertions and the periodic hierarchy-wide invariant checker (slower; panics on the first violation)")
+		list    = flag.Bool("list", false, "list available experiments")
+		id      = flag.String("exp", "", "experiment id to run (e.g. fig6, table2)")
+		full    = flag.Bool("full", false, "run at full (slow) scale instead of quick scale")
+		jobs    = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS; output is identical at any -j)")
+		tilePar = flag.Int("tile-par", 1, "tile queues to partition each simulation's event kernel into (1 = sequential single-queue kernel; output is identical at any width, and the flag composes with -j)")
+		verify  = flag.Bool("verify", false, "run with coherence-freshness assertions and the periodic hierarchy-wide invariant checker (slower; panics on the first violation)")
 
 		metricsOut  = flag.String("metrics", "", "write per-run metrics snapshots (JSON) to this file")
 		traceOut    = flag.String("trace", "", "stream structured trace events to this file")
@@ -79,6 +87,7 @@ func main() {
 	}
 
 	sched.SetWorkers(*jobs)
+	system.SetDefaultTilePar(*tilePar)
 	morphs.SetRunCache(true)
 
 	if *verify {
@@ -91,6 +100,10 @@ func main() {
 		if *exploreRuns > 0 {
 			cfg.MaxRuns = *exploreRuns
 		}
+		// -j parallelizes schedule evaluation; -tile-par partitions each
+		// schedule's kernel. Findings are identical at any combination.
+		cfg.Workers = sched.Workers()
+		cfg.TilePar = *tilePar
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		}

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"tako/internal/morphs"
+	"tako/internal/system"
+)
+
+// TestTileParMatchesSequential is the system-level determinism gate for
+// the tile-sharded kernel: a full case-study experiment (fresh
+// simulations, no run cache) renders a byte-identical table and
+// byte-identical captured run records — labels, ops, cycles, the whole
+// metrics registry snapshot — at kernel shard widths 1, 2, 4, and 16.
+// Partitioning only moves events between queues; the global
+// (cycle, sequence) dispatch order, and therefore every simulated cycle
+// count, must not change. CI runs this under -race as the data-race
+// probe for the partitioned kernel.
+func TestTileParMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	prevCache := morphs.SetRunCache(false) // fresh simulations at every width
+	defer morphs.SetRunCache(prevCache)
+	defer system.SetDefaultTilePar(1)
+
+	system.SetDefaultTilePar(1)
+	seqTbl, seqRuns := captureExp(t, "fig6")
+	seq, err := json.Marshal(seqRuns)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, width := range []int{2, 4, 16} {
+		t.Run(fmt.Sprintf("tilepar=%d", width), func(t *testing.T) {
+			system.SetDefaultTilePar(width)
+			tbl, runs := captureExp(t, "fig6")
+			if tbl != seqTbl {
+				t.Errorf("table differs between -tile-par 1 and %d\n--- 1 ---\n%s--- %d ---\n%s",
+					width, seqTbl, width, tbl)
+			}
+			par, err := json.Marshal(runs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(seq, par) {
+				t.Errorf("captured run records differ between -tile-par 1 and %d", width)
+			}
+		})
+	}
+}

@@ -1,0 +1,21 @@
+package hier
+
+import "testing"
+
+// TestLookaheadMatchesTable3 pins the conservative lookahead the
+// tile-sharded kernel derives from the Table 3 mesh: a 2-cycle router
+// plus a 1-cycle link means no cross-tile interaction lands in under 3
+// cycles, at any tile count, and even a single-tile hierarchy yields a
+// positive (trivially safe) lookahead.
+func TestLookaheadMatchesTable3(t *testing.T) {
+	for _, tiles := range []int{4, 16, 64} {
+		_, h := newH(tiles)
+		if la := h.Lookahead(); la != 3 {
+			t.Errorf("%d tiles: lookahead = %d, want 3", tiles, la)
+		}
+	}
+	_, h := newH(1)
+	if la := h.Lookahead(); la < 1 {
+		t.Errorf("single tile: lookahead = %d, want ≥ 1", la)
+	}
+}

@@ -3,6 +3,8 @@ package oracle
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // This file implements the deterministic interleaving explorer: small
@@ -352,6 +354,18 @@ type ExploreConfig struct {
 	MaxBranch int
 	// CheckEvery is the oracle invariant period in hierarchy events.
 	CheckEvery int
+	// Workers is the number of schedules evaluated concurrently. Every
+	// schedule is an independent simulation, so the explorer evaluates
+	// each breadth-first generation as a parallel batch and then replays
+	// the sequential bookkeeping over the memoized results — the run
+	// count, expansion order, and findings are byte-identical to
+	// Workers ≤ 1 (which evaluates inline, exactly the sequential
+	// explorer). 0/1 means sequential.
+	Workers int
+	// TilePar partitions each schedule's event kernel into tile-sharded
+	// queues (TraceConfig.TilePar); results are byte-identical at every
+	// width. 0 inherits the process default.
+	TilePar int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -428,14 +442,42 @@ func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 // Each frontier entry is a choice prefix; prefixes are unique by
 // construction (every explicit prefix ends in a nonzero choice at a
 // position its parent had not branched), so no dedup set is needed.
+//
+// A schedule's outcome is a pure function of its prefix, so with
+// cfg.Workers > 1 each breadth-first generation — the runnable slice of
+// the current frontier — is evaluated as one parallel batch, and the
+// loop below then consumes the memoized results in the original
+// sequential order. Only runSchedule moves off-thread; every counter,
+// expansion, and finding is appended by this goroutine exactly as the
+// sequential explorer would, so the full ExploreResult is byte-identical
+// at any worker count (TestExploreParallelMatchesSequential pins this).
 func exploreScenario(sc scenario, cfg ExploreConfig) (runs, maxCPs int, findings []Finding) {
 	frontier := [][]int{nil}
+	var batch []*schedChooser
+	var batchFail []string
+	batched := 0 // results of the current generation already consumed
 	for len(frontier) > 0 && runs < cfg.MaxRuns {
+		if batched == len(batch) {
+			// Evaluate the next generation: every frontier entry the run
+			// budget still admits.
+			n := len(frontier)
+			if rem := cfg.MaxRuns - runs; n > rem {
+				n = rem
+			}
+			batch = make([]*schedChooser, n)
+			batchFail = make([]string, n)
+			batched = 0
+			runBatch(n, cfg.Workers, func(i int) {
+				ch := &schedChooser{prefix: frontier[i]}
+				batch[i] = ch
+				batchFail[i] = runSchedule(sc, cfg, ch)
+			})
+		}
 		prefix := frontier[0]
 		frontier = frontier[1:]
-		ch := &schedChooser{prefix: prefix}
+		ch, failure := batch[batched], batchFail[batched]
+		batched++
 		runs++
-		failure := runSchedule(sc, ch, cfg.CheckEvery)
 		if n := len(ch.arity); n > maxCPs {
 			maxCPs = n
 		}
@@ -468,17 +510,48 @@ func exploreScenario(sc scenario, cfg ExploreConfig) (runs, maxCPs int, findings
 	return runs, maxCPs, findings
 }
 
+// runBatch runs fn(0..n-1) on up to w concurrent goroutines (inline in
+// index order when w ≤ 1, matching the sequential explorer exactly).
+func runBatch(n, w int, fn func(i int)) {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // runSchedule executes one scenario under one schedule and returns a
 // non-empty description if the run failed.
-func runSchedule(sc scenario, ch *schedChooser, checkEvery int) string {
+func runSchedule(sc scenario, cfg ExploreConfig, ch *schedChooser) string {
 	tc := TraceConfig{
 		Tiles:         sc.tiles,
 		CacheScale:    sc.scale,
-		CheckEvery:    checkEvery,
+		CheckEvery:    cfg.CheckEvery,
 		Script:        sc.ops,
 		Chooser:       ch,
 		RecoverPanics: true,
 		RealMorph:     sc.realMorph,
+		TilePar:       cfg.TilePar,
 	}
 	res, err := RunTrace(tc)
 	if err != nil {

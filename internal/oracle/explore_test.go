@@ -37,12 +37,13 @@ func TestExploreScenarios(t *testing.T) {
 // same run shape or the explorer's findings aren't reproducible.
 func TestExploreDeterministic(t *testing.T) {
 	sc := Scenarios()[0]
+	cfg := ExploreConfig{CheckEvery: 32}
 	first := &schedChooser{prefix: []int{0, 1}}
-	if msg := runSchedule(sc, first, 32); msg != "" {
+	if msg := runSchedule(sc, cfg, first); msg != "" {
 		t.Fatalf("schedule failed: %s", msg)
 	}
 	second := &schedChooser{prefix: []int{0, 1}}
-	if msg := runSchedule(sc, second, 32); msg != "" {
+	if msg := runSchedule(sc, cfg, second); msg != "" {
 		t.Fatalf("replay failed: %s", msg)
 	}
 	if len(first.taken) != len(second.taken) {

@@ -1,0 +1,133 @@
+package oracle
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTraceTileParMatchesSequential pins the partitioned kernel on the
+// full verification harness: the same seeded trace produces an
+// identical fingerprint — cycle count, oracle digest, and the whole
+// metrics registry — at every kernel shard width.
+func TestTraceTileParMatchesSequential(t *testing.T) {
+	base := DefaultTraceConfig(7)
+	base.OpsPerTile = 500
+	base.TilePar = 1
+	ref, err := RunTrace(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Oracle.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{2, 4} {
+		cfg := base
+		cfg.TilePar = width
+		res, err := RunTrace(cfg)
+		if err != nil {
+			t.Fatalf("tilepar=%d: %v", width, err)
+		}
+		if err := res.Oracle.Err(); err != nil {
+			t.Fatalf("tilepar=%d: %v", width, err)
+		}
+		if res.Fingerprint != ref.Fingerprint {
+			t.Errorf("tilepar=%d fingerprint diverged from sequential", width)
+		}
+	}
+}
+
+// exploreAll sweeps every scenario with a small budget at the given
+// worker and shard widths and returns the full result.
+func exploreAll(t *testing.T, workers, tilePar int) *ExploreResult {
+	t.Helper()
+	cfg := DefaultExploreConfig()
+	cfg.MaxRuns = 6
+	cfg.Workers = workers
+	cfg.TilePar = tilePar
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestExploreParallelMatchesSequential pins the explorer's batched
+// parallel evaluation: the complete ExploreResult — scenario list, run
+// count, choice-point high-water mark, and findings in order — is
+// identical at 1 and 4 workers, and stays identical when each schedule
+// additionally runs on a tile-sharded kernel. CI runs this under -race,
+// making it the data-race probe for concurrent schedule evaluation.
+func TestExploreParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ref := exploreAll(t, 1, 0)
+	if ref.Runs == 0 || ref.ChoicePoints == 0 {
+		t.Fatalf("reference sweep did not explore: %+v", ref)
+	}
+	for _, f := range ref.Findings {
+		t.Errorf("%s under schedule %v: %s", f.Scenario, trimSchedule(f.Schedule), f.Err)
+	}
+	cases := map[string]*ExploreResult{
+		"workers=4":           exploreAll(t, 4, 0),
+		"workers=4,tilepar=4": exploreAll(t, 4, 4),
+		"workers=1,tilepar=4": exploreAll(t, 1, 4),
+	}
+	for name, got := range cases {
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("%s explore result diverged:\ngot:  %+v\nwant: %+v", name, got, ref)
+		}
+	}
+}
+
+// FuzzEpochSchedule is the epoch/drain-order fuzzer for the tile-sharded
+// kernel: the fuzz input picks a scenario, a shard width, and a raw
+// schedule of same-cycle tie resolutions — on a partitioned kernel those
+// ties are exactly the cross-shard merge points, so permuting them
+// permutes the order tile queues drain into each cycle. Every schedule
+// must satisfy the oracle and the hierarchy invariants (CheckEvery keeps
+// hier.CheckInvariants running throughout), and must reproduce the
+// single-queue kernel's fingerprint byte for byte under the same
+// choices.
+func FuzzEpochSchedule(f *testing.F) {
+	f.Add([]byte{0, 2})
+	f.Add([]byte{1, 3, 1, 1})
+	f.Add([]byte{2, 4, 0, 1, 0, 2})
+	f.Add([]byte{5, 16, 2, 7, 1, 0, 3})
+	scenarios := Scenarios()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		if len(data) > 256 { // bounds choice-point churn per run
+			data = data[:256]
+		}
+		sc := scenarios[int(data[0])%len(scenarios)]
+		width := 2 + int(data[1])%15
+		run := func(tilePar int) *TraceResult {
+			tc := TraceConfig{
+				Tiles:         sc.tiles,
+				CacheScale:    sc.scale,
+				CheckEvery:    64,
+				Script:        sc.ops,
+				Chooser:       &byteChooser{data: data[2:]},
+				RecoverPanics: true,
+				RealMorph:     sc.realMorph,
+				TilePar:       tilePar,
+			}
+			res, err := RunTrace(tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Oracle.Err(); err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		sharded := run(width)
+		sequential := run(1)
+		if sharded.Fingerprint != sequential.Fingerprint {
+			t.Fatalf("tilepar=%d fingerprint diverged from the single-queue kernel", width)
+		}
+	})
+}

@@ -1,0 +1,540 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// This file is the determinism battery for the tile-sharded kernel. The
+// contract under test: a Sharded run produces a byte-identical simulation
+// at every worker width, identical to the single-threaded RunSequenced
+// reference, and unaffected by the order mailboxes are drained in; and a
+// partitioned Kernel produces a byte-identical schedule to the
+// single-queue kernel at every partition width. Run these under -race to
+// also certify the epoch barriers (CI does).
+
+// shardedFixture is a Sharded kernel plus per-shard trace logs. Each
+// shard's log is appended only by events executing on that shard, so
+// recording is race-free under parallel Run; merged() concatenates in
+// shard order for comparison.
+type shardedFixture struct {
+	s       *Sharded
+	traces  [][]string
+	workers int
+}
+
+func (f *shardedFixture) record(shard int, format string, args ...any) {
+	f.traces[shard] = append(f.traces[shard], fmt.Sprintf(format, args...))
+}
+
+func (f *shardedFixture) merged() string {
+	var b strings.Builder
+	for i, tr := range f.traces {
+		for _, line := range tr {
+			fmt.Fprintf(&b, "shard%d %s\n", i, line)
+		}
+	}
+	return b.String()
+}
+
+// buildShardedWorkload wires a deterministic 16-shard program exercising
+// every cross-shard path: plain Send callbacks, SendComplete on
+// pre-created futures, SendWake on explicitly parked processes, plus
+// local event chains and sleeps with pseudo-random (seeded) timing.
+func buildShardedWorkload(shards int) *shardedFixture {
+	const (
+		lookahead = 3
+		steps     = 40
+		rounds    = 16
+	)
+	if shards < 3 {
+		panic("workload needs ≥3 shards")
+	}
+	s := NewSharded(shards, lookahead)
+	f := &shardedFixture{s: s, traces: make([][]string, shards)}
+
+	// Futures completed cross-shard: futures[i][r] lives on shard i and
+	// is completed by shard (i-1)'s driver at its step r. Pre-created so
+	// no shard ever reads another shard's state mid-run.
+	futures := make([][]*Future, shards)
+	for i := range futures {
+		futures[i] = make([]*Future, rounds)
+		for r := range futures[i] {
+			futures[i][r] = NewFuture(s.Shard(i).K)
+		}
+	}
+
+	// Processes parked via block() and woken cross-shard by SendWake:
+	// blocker i is woken (rounds times, spaced ≥1 cycle apart) by shard
+	// (i-2)'s driver.
+	blockers := make([]*Proc, shards)
+	for i := 0; i < shards; i++ {
+		i := i
+		sh := s.Shard(i)
+		sh.K.Go("waiter", func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				p.Wait(futures[i][r])
+				f.record(i, "waiter round %d woke at %d", r, p.Now())
+			}
+		})
+		blockers[i] = sh.K.Go("blocker", func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				p.block()
+				f.record(i, "blocker round %d at %d", r, p.Now())
+			}
+		})
+	}
+	for i := 0; i < shards; i++ {
+		i := i
+		sh := s.Shard(i)
+		sh.K.Go("driver", func(p *Proc) {
+			rng := rand.New(rand.NewSource(int64(i) + 42))
+			for step := 0; step < steps; step++ {
+				step := step
+				f.record(i, "drive step %d at %d", step, p.Now())
+				sh.K.After(Cycle(rng.Intn(3)), func() {
+					f.record(i, "local fn of step %d at %d", step, sh.K.Now())
+				})
+				dest := (i + 1 + rng.Intn(shards-1)) % shards
+				delay := Cycle(lookahead + rng.Intn(4))
+				sh.Send(dest, delay, func() {
+					f.record(dest, "msg from %d step %d at %d", i, step, s.Shard(dest).K.Now())
+				})
+				if step < rounds {
+					sh.SendComplete((i+1)%shards, delay, futures[(i+1)%shards][step])
+					sh.SendWake((i+2)%shards, lookahead, blockers[(i+2)%shards])
+				}
+				p.Sleep(Cycle(1 + rng.Intn(4)))
+			}
+		})
+	}
+	return f
+}
+
+// TestShardedMatchesSequencedAcrossWidths is the core determinism gate:
+// the parallel run is byte-identical to the single-threaded reference at
+// worker widths 1/2/4/8/16, including per-event timestamps and the
+// coordinator's epoch/message counts.
+func TestShardedMatchesSequencedAcrossWidths(t *testing.T) {
+	const shards = 16
+	ref := buildShardedWorkload(shards)
+	ref.s.RunSequenced()
+	want := ref.merged()
+	if want == "" {
+		t.Fatal("reference workload produced no trace")
+	}
+	refStats := ref.s.Stats()
+	if refStats.Epochs < 5 {
+		t.Fatalf("workload too shallow to exercise barriers: %d epochs", refStats.Epochs)
+	}
+	if refStats.Messages == 0 {
+		t.Fatal("workload sent no cross-shard messages")
+	}
+	ref.s.Release()
+
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			f := buildShardedWorkload(shards)
+			f.s.Run(workers)
+			if got := f.merged(); got != want {
+				t.Errorf("trace diverged from sequenced reference at %d workers:\n%s",
+					workers, firstDiff(got, want))
+			}
+			if st := f.s.Stats(); st != refStats {
+				t.Errorf("stats diverged at %d workers: got %+v want %+v", workers, st, refStats)
+			}
+			if blocked := f.s.Blocked(); len(blocked) != 0 {
+				t.Errorf("deadlocked procs after run: %v", blocked)
+			}
+			f.s.Release()
+		})
+	}
+}
+
+// TestShardedDrainPermutationInvariant pins that the canonical
+// (cycle, sender, sequence) merge key erases the mailbox drain order: a
+// run whose per-epoch sender iteration is reversed (and one rotated by
+// the epoch number) matches the untouched reference byte for byte.
+func TestShardedDrainPermutationInvariant(t *testing.T) {
+	const shards = 16
+	ref := buildShardedWorkload(shards)
+	ref.s.RunSequenced()
+	want := ref.merged()
+	ref.s.Release()
+
+	perms := map[string]func(epoch, n int) []int{
+		"reversed": func(_, n int) []int {
+			p := make([]int, n)
+			for i := range p {
+				p[i] = n - 1 - i
+			}
+			return p
+		},
+		"rotating": func(epoch, n int) []int {
+			p := make([]int, n)
+			for i := range p {
+				p[i] = (i + epoch) % n
+			}
+			return p
+		},
+	}
+	for name, perm := range perms {
+		t.Run(name, func(t *testing.T) {
+			f := buildShardedWorkload(shards)
+			epoch := 0
+			f.s.permute = func(n int) []int {
+				epoch++
+				return perm(epoch, n)
+			}
+			f.s.Run(4)
+			if got := f.merged(); got != want {
+				t.Errorf("drain permutation %q changed the schedule:\n%s", name, firstDiff(got, want))
+			}
+			f.s.Release()
+		})
+	}
+}
+
+// FuzzShardedDrainOrder feeds arbitrary per-epoch drain permutations to
+// the coordinator and asserts the simulation is unchanged — the fuzzing
+// analog of TestShardedDrainPermutationInvariant.
+func FuzzShardedDrainOrder(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 7, 255, 3})
+	f.Add([]byte{13, 13, 13, 13, 13, 13, 13, 13})
+	ref := buildShardedWorkload(4)
+	ref.s.RunSequenced()
+	want := ref.merged()
+	ref.s.Release()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fx := buildShardedWorkload(4)
+		idx := 0
+		fx.s.permute = func(n int) []int {
+			p := make([]int, n)
+			for i := range p {
+				p[i] = i
+			}
+			for i := n - 1; i > 0; i-- {
+				var b byte
+				if len(data) > 0 {
+					b = data[idx%len(data)]
+					idx++
+				}
+				j := int(b) % (i + 1)
+				p[i], p[j] = p[j], p[i]
+			}
+			return p
+		}
+		fx.s.Run(2)
+		if got := fx.merged(); got != want {
+			t.Errorf("fuzzed drain order changed the schedule:\n%s", firstDiff(got, want))
+		}
+		fx.s.Release()
+	})
+}
+
+// TestShardedHorizonBoundary is the epoch off-by-one stress: both shards
+// execute an event every single cycle, and every cross-shard message is
+// sent with delay exactly equal to the lookahead — so every delivery
+// lands exactly on an epoch horizon. A coordinator that ran epochs one
+// cycle too long would make the receiver's clock pass the arrival time
+// and trip the kernel's scheduling-in-the-past panic; one that ran them
+// short would change arrival interleaving. The test also pins the
+// absolute arrival cycles and that same-cycle local events (scheduled
+// during the epoch) order before barrier-delivered messages.
+func TestShardedHorizonBoundary(t *testing.T) {
+	const (
+		lookahead = 3
+		ticks     = 30
+	)
+	build := func() *shardedFixture {
+		s := NewSharded(2, lookahead)
+		f := &shardedFixture{s: s, traces: make([][]string, 2)}
+		for i := 0; i < 2; i++ {
+			i := i
+			sh := s.Shard(i)
+			var tick func()
+			n := 0
+			tick = func() {
+				now := sh.K.Now()
+				f.record(i, "tick at %d", now)
+				peer := 1 - i
+				sh.Send(peer, lookahead, func() {
+					f.record(peer, "msg sent at %d arrives at %d", now, s.Shard(peer).K.Now())
+				})
+				if n++; n < ticks {
+					sh.K.After(1, tick)
+				}
+			}
+			sh.K.After(0, tick)
+		}
+		return f
+	}
+
+	ref := build()
+	ref.s.RunSequenced()
+	want := ref.merged()
+	ref.s.Release()
+
+	// Every message must arrive exactly lookahead cycles after its send.
+	for _, line := range strings.Split(strings.TrimSpace(want), "\n") {
+		if !strings.Contains(line, "msg sent") {
+			continue
+		}
+		var shard, sent, arrived int
+		if _, err := fmt.Sscanf(line, "shard%d msg sent at %d arrives at %d", &shard, &sent, &arrived); err != nil {
+			t.Fatalf("unparseable trace line %q: %v", line, err)
+		}
+		if arrived != sent+lookahead {
+			t.Fatalf("message sent at %d arrived at %d, want exactly +%d: %q", sent, arrived, lookahead, line)
+		}
+	}
+	// Same-cycle merge rule: a barrier-delivered message gets its
+	// receiver-side sequence number at the drain, so it orders after
+	// local events scheduled in earlier epochs but before ones scheduled
+	// later in its own epoch. With this dense workload epochs are exactly
+	// [3k, 3k+2]: at an epoch-start cycle (c%3==0) the tick was scheduled
+	// pre-drain and runs first; mid-epoch (c%3!=0) the message runs
+	// first. Pin that rule — it is the "(cycle, seq, tile)" merge key
+	// made observable.
+	for i := 0; i < 2; i++ {
+		tickAt := map[int]int{} // cycle → trace index of the tick
+		msgAt := map[int]int{}  // cycle → trace index of the first arrival
+		for idx, line := range ref.traces[i] {
+			var at, sent int
+			if _, err := fmt.Sscanf(line, "tick at %d", &at); err == nil {
+				tickAt[at] = idx
+			} else if _, err := fmt.Sscanf(line, "msg sent at %d arrives at %d", &sent, &at); err == nil {
+				if _, dup := msgAt[at]; !dup {
+					msgAt[at] = idx
+				}
+			}
+		}
+		checked := 0
+		for at, ti := range tickAt {
+			mi, ok := msgAt[at]
+			if !ok {
+				continue
+			}
+			checked++
+			tickFirst := ti < mi
+			wantTickFirst := at%lookahead == 0
+			if tickFirst != wantTickFirst {
+				t.Fatalf("shard %d cycle %d: tickFirst=%v, want %v (epoch-relative merge rule)", i, at, tickFirst, wantTickFirst)
+			}
+		}
+		if checked < 10 {
+			t.Fatalf("shard %d: only %d tick/arrival collisions — workload not dense enough", i, checked)
+		}
+	}
+
+	for _, workers := range []int{1, 2} {
+		f := build()
+		f.s.Run(workers)
+		if got := f.merged(); got != want {
+			t.Errorf("horizon-boundary trace diverged at %d workers:\n%s", workers, firstDiff(got, want))
+		}
+		f.s.Release()
+	}
+}
+
+// TestShardedLookaheadViolationPanics pins the causality guard: a
+// cross-shard send with delay below the lookahead must panic rather than
+// silently corrupt an already-executed window.
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	s := NewSharded(2, 3)
+	s.Shard(0).K.After(0, func() {
+		s.Shard(0).Send(1, 2, func() {})
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("lookahead violation did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "violates lookahead") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	s.Run(2)
+}
+
+// TestShardedPanicPropagation: a panic on any shard's process surfaces
+// on the Run caller as the usual ProcPanic, and when several shards fail
+// in the same epoch the lowest shard id wins deterministically.
+func TestShardedPanicPropagation(t *testing.T) {
+	s := NewSharded(4, 3)
+	for _, id := range []int{2, 1} {
+		id := id
+		s.Shard(id).K.Go("bomb", func(p *Proc) {
+			p.Sleep(10)
+			panic(fmt.Sprintf("boom%d", id))
+		})
+	}
+	defer func() {
+		r := recover()
+		pp, ok := r.(*ProcPanic)
+		if !ok {
+			t.Fatalf("want *ProcPanic, got %T: %v", r, r)
+		}
+		if pp.Value != "boom1" {
+			t.Fatalf("want lowest-shard panic boom1, got %v", pp.Value)
+		}
+	}()
+	s.Run(4)
+}
+
+// TestShardedBlockedReportsDeadlock: a process parked forever is visible
+// through Blocked with its shard prefix, and Shutdown unwinds it.
+func TestShardedBlockedReportsDeadlock(t *testing.T) {
+	s := NewSharded(4, 3)
+	f := NewFuture(s.Shard(2).K)
+	s.Shard(2).K.Go("stuck", func(p *Proc) {
+		p.Wait(f) // never completed
+	})
+	s.Run(2)
+	blocked := s.Blocked()
+	if len(blocked) != 1 || blocked[0] != "shard2/stuck" {
+		t.Fatalf("Blocked = %v, want [shard2/stuck]", blocked)
+	}
+	s.Shutdown()
+	if blocked := s.Blocked(); len(blocked) != 0 {
+		t.Fatalf("still blocked after Shutdown: %v", blocked)
+	}
+}
+
+// TestShardedAllocsPerEvent is the zero-alloc gate for the parallel
+// coordinator: once mailboxes and queues are warm, epochs — including
+// cross-shard sends, the canonical drain, and the worker barrier — stay
+// under 0.01 allocations per executed event.
+func TestShardedAllocsPerEvent(t *testing.T) {
+	const (
+		shards    = 8
+		lookahead = 3
+		perShard  = 5000
+	)
+	s := NewSharded(shards, lookahead)
+	noop := func() {}
+	type load struct {
+		sh *Shard
+		n  int
+		fn func()
+	}
+	loads := make([]*load, shards)
+	for i := 0; i < shards; i++ {
+		l := &load{sh: s.Shard(i)}
+		next := (i + 1) % shards
+		l.fn = func() {
+			if l.n--; l.n <= 0 {
+				return
+			}
+			if l.n%8 == 0 {
+				l.sh.Send(next, lookahead, noop)
+			}
+			l.sh.K.After(1, l.fn)
+		}
+		loads[i] = l
+	}
+	run := func() {
+		for _, l := range loads {
+			l.n = perShard
+			l.sh.K.After(1, l.fn)
+		}
+		s.Run(4)
+	}
+	events := s.Shard(0).K.Events() // 0 before the warm-up inside AllocsPerRun
+	avg := testing.AllocsPerRun(5, run)
+	var total uint64
+	for i := 0; i < shards; i++ {
+		total += s.Shard(i).K.Events()
+	}
+	perRun := total / 7 // warm-up + 1 extra + 5 measured runs
+	if events != 0 {
+		t.Fatalf("expected a fresh coordinator, saw %d events", events)
+	}
+	if perEvent := avg / float64(perRun); perEvent > 0.01 {
+		t.Fatalf("sharded run allocates %.4f allocs/event over %d events, want ≤0.01", perEvent, perRun)
+	}
+}
+
+// lastChooser always picks the newest event in a same-cycle batch — the
+// opposite of the default FIFO resolution, maximally sensitive to batch
+// membership changing across partition widths.
+type lastChooser struct{}
+
+func (lastChooser) Choose(n int) int { return n - 1 }
+
+// runPartitionedProgram runs a mixed proc/future/callback program on a
+// kernel partitioned parts ways and returns its execution trace. The
+// program itself is identical for every parts value; only queue
+// placement changes.
+func runPartitionedProgram(parts int, chooser Chooser) string {
+	k := NewKernel()
+	if parts > 1 {
+		k.Partition(parts)
+	}
+	k.SetChooser(chooser)
+	var trace []string
+	for i := 0; i < 6; i++ {
+		i := i
+		k.GoOn(i, fmt.Sprintf("p%d", i), func(p *Proc) {
+			rng := rand.New(rand.NewSource(int64(i) + 7))
+			for s := 0; s < 25; s++ {
+				s := s
+				trace = append(trace, fmt.Sprintf("p%d step %d at %d", i, s, p.Now()))
+				k.After(Cycle(rng.Intn(4)), func() {
+					trace = append(trace, fmt.Sprintf("fn p%d step %d at %d", i, s, k.Now()))
+				})
+				if s%3 == 0 {
+					f := NewFuture(k)
+					f.CompleteAt(p.Now() + Cycle(rng.Intn(5)))
+					p.Wait(f)
+				} else {
+					p.Sleep(Cycle(rng.Intn(3)))
+				}
+			}
+		})
+	}
+	k.Run()
+	k.Release()
+	return strings.Join(trace, "\n")
+}
+
+// TestPartitionedKernelMatchesSingleQueue pins the property the system
+// driver's -tile-par mode relies on: partitioning the kernel's queue
+// changes where events are stored but not the (time, sequence) dispatch
+// order, so the schedule is byte-identical at every width — with and
+// without a Chooser installed (the explorer's hook must see identical
+// same-cycle batches).
+func TestPartitionedKernelMatchesSingleQueue(t *testing.T) {
+	for _, chooser := range []Chooser{nil, lastChooser{}} {
+		name := "fifo"
+		if chooser != nil {
+			name = "chooser"
+		}
+		t.Run(name, func(t *testing.T) {
+			want := runPartitionedProgram(1, chooser)
+			if want == "" {
+				t.Fatal("program produced no trace")
+			}
+			for _, parts := range []int{2, 4, 7, 16} {
+				if got := runPartitionedProgram(parts, chooser); got != want {
+					t.Errorf("partition width %d changed the schedule:\n%s", parts, firstDiff(got, want))
+				}
+			}
+		})
+	}
+}
+
+// firstDiff renders the first divergent line of two traces, with context.
+func firstDiff(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n  got:  %q\n  want: %q", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: got %d lines, want %d lines", len(g), len(w))
+}
