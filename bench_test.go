@@ -585,6 +585,46 @@ func TestHierarchyAccessAllocs(t *testing.T) {
 	}
 }
 
+// BenchmarkHierarchyAccessAttributed prices transaction-level latency
+// attribution against the same pointer-chase the alloc gates use: "off"
+// is the production configuration (a nil check per transition), "attr"
+// timestamps every state transition into per-(kind,state) dwell
+// histograms, and "attr+slowest" additionally maintains the top-K
+// slow-access ring with full state timelines. The delta between the
+// sub-benchmarks is the observability tax recorded in the CI bench
+// artifact.
+func BenchmarkHierarchyAccessAttributed(b *testing.B) {
+	const accesses = 10000
+	for _, mode := range []struct {
+		name    string
+		attr    bool
+		slowest int
+	}{{"off", false, 0}, {"attr", true, 0}, {"attr+slowest", true, 8}} {
+		b.Run(mode.name, func(b *testing.B) {
+			k := sim.NewKernel()
+			cfg := hier.DefaultConfig(4)
+			cfg.Attribution = mode.attr
+			cfg.SlowestK = mode.slowest
+			h := hier.New(k, cfg, energy.NewMeter(), nil, nil)
+			run := func() {
+				k.Go("chase", func(p *sim.Proc) {
+					for j := 0; j < accesses; j++ {
+						h.Load(p, 0, mem.Addr(0x10_0000+(j%4096)*64))
+					}
+				})
+				k.Run()
+			}
+			run() // warm caches, pools, and (when armed) timeline capacity
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.ReportMetric(float64(accesses*b.N)/b.Elapsed().Seconds(), "sim-accesses/s")
+		})
+	}
+}
+
 // Data-layout microbenches: the open-addressed table and the arena are
 // the substrate under every access (directory entries, MSHR/lock
 // entries, memory pages), so their churn costs are pinned here.

@@ -1,0 +1,186 @@
+// Command benchtraj assembles the CI perf-trajectory artifact: it parses
+// `go test -bench` text output (any number of files) plus the
+// takoreport -bench JSON report and emits one compact JSON document with
+// every benchmark's metrics (ns/op, allocs/op, sim-accesses/s, ...) and
+// the report's wall/exec timing per experiment. CI uploads the result as
+// BENCH_N.json so throughput and allocation trends are diffable across
+// the PR sequence without re-parsing free-form bench logs.
+//
+// Usage:
+//
+//	benchtraj -o BENCH_7.json [-report bench_report.json] bench1.txt bench2.txt ...
+//
+// Benchmark lines that repeat (go test -count N) stay separate entries
+// in input order, so downstream tooling sees the full sample set.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchEntry is one parsed `go test -bench` result line.
+type benchEntry struct {
+	Name       string             `json:"name"`
+	Iterations uint64             `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// reportExp is the per-experiment slice of the takoreport -bench report
+// kept in the trajectory (run records are dropped — the trajectory
+// tracks cost, not results).
+type reportExp struct {
+	ID         string  `json:"id"`
+	Ops        uint64  `json:"ops"`
+	Cycles     uint64  `json:"cycles"`
+	WallMS     float64 `json:"wall_ms"`
+	ExecMS     float64 `json:"exec_ms"`
+	Speedup    float64 `json:"speedup_vs_serial"`
+	CachedRuns int     `json:"cached_runs"`
+}
+
+// reportSummary is the aggregate slice of the -bench report.
+type reportSummary struct {
+	Scale       string      `json:"scale"`
+	Jobs        int         `json:"jobs"`
+	TilePar     int         `json:"tile_par"`
+	WallMS      float64     `json:"wall_ms"`
+	ExecMS      float64     `json:"exec_ms"`
+	Speedup     float64     `json:"speedup_vs_serial"`
+	Experiments []reportExp `json:"experiments"`
+}
+
+// trajectory is the emitted document.
+type trajectory struct {
+	Benchmarks []benchEntry   `json:"benchmarks"`
+	Report     *reportSummary `json:"report,omitempty"`
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkName/sub-8  1000  1234 ns/op  432 B/op  2 allocs/op  9.5 sim-accesses/s
+//
+// Returns ok=false for non-benchmark lines (headers, PASS, ok ...).
+func parseBenchLine(line string) (benchEntry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchEntry{}, false
+	}
+	iters, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return benchEntry{}, false
+	}
+	e := benchEntry{
+		Name:       strings.TrimSuffix(fields[0], "\t"),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchEntry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	if len(e.Metrics) == 0 {
+		return benchEntry{}, false
+	}
+	return e, true
+}
+
+// parseBenchOutput collects every benchmark line from one bench log.
+func parseBenchOutput(r io.Reader) ([]benchEntry, error) {
+	var out []benchEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		if e, ok := parseBenchLine(sc.Text()); ok {
+			out = append(out, e)
+		}
+	}
+	return out, sc.Err()
+}
+
+// loadReport reads a takoreport -bench JSON file into the trimmed
+// trajectory shape.
+func loadReport(path string) (*reportSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var full struct {
+		reportSummary
+		Experiments []struct {
+			reportExp
+			Runs json.RawMessage `json:"runs"` // dropped
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &full); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", path, err)
+	}
+	sum := full.reportSummary
+	sum.Experiments = make([]reportExp, 0, len(full.Experiments))
+	for _, e := range full.Experiments {
+		sum.Experiments = append(sum.Experiments, e.reportExp)
+	}
+	return &sum, nil
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "", "write the trajectory JSON here (default stdout)")
+		report = flag.String("report", "", "takoreport -bench JSON to fold into the trajectory")
+	)
+	flag.Parse()
+
+	traj := trajectory{Benchmarks: []benchEntry{}}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
+			os.Exit(1)
+		}
+		entries, err := parseBenchOutput(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtraj: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		traj.Benchmarks = append(traj.Benchmarks, entries...)
+	}
+	if *report != "" {
+		sum, err := loadReport(*report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
+			os.Exit(1)
+		}
+		traj.Report = sum
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(traj); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Printf("trajectory written to %s (%d benchmarks)\n", *out, len(traj.Benchmarks))
+	}
+}

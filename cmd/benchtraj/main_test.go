@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line    string
+		ok      bool
+		name    string
+		iters   uint64
+		metrics map[string]float64
+	}{
+		{
+			line:  "BenchmarkHierarchyAccessAttributed/attr-8         \t       3\t  75043099 ns/op\t    133258 sim-accesses/s\t     432 B/op\t       2 allocs/op",
+			ok:    true,
+			name:  "BenchmarkHierarchyAccessAttributed/attr-8",
+			iters: 3,
+			metrics: map[string]float64{
+				"ns/op": 75043099, "sim-accesses/s": 133258,
+				"B/op": 432, "allocs/op": 2,
+			},
+		},
+		{
+			line:    "BenchmarkKernel-8   \t 1000000\t      1052 ns/op",
+			ok:      true,
+			name:    "BenchmarkKernel-8",
+			iters:   1000000,
+			metrics: map[string]float64{"ns/op": 1052},
+		},
+		{
+			line:    "BenchmarkFig06Decompression-8  \t      2\t 501034512 ns/op\t         2.080 speedup\t  27373786 sim-cycles",
+			ok:      true,
+			name:    "BenchmarkFig06Decompression-8",
+			iters:   2,
+			metrics: map[string]float64{"ns/op": 501034512, "speedup": 2.080, "sim-cycles": 27373786},
+		},
+		{line: "goos: linux", ok: false},
+		{line: "pkg: tako", ok: false},
+		{line: "PASS", ok: false},
+		{line: "ok  \ttako\t1.439s", ok: false},
+		{line: "", ok: false},
+		// A benchmark header with no metrics yet (mid-run output).
+		{line: "BenchmarkKernel-8", ok: false},
+		// Non-numeric iteration count.
+		{line: "BenchmarkX notanumber 12 ns/op", ok: false},
+	}
+	for _, c := range cases {
+		e, ok := parseBenchLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parse(%q) ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if e.Name != c.name || e.Iterations != c.iters {
+			t.Errorf("parse(%q) = %q/%d, want %q/%d", c.line, e.Name, e.Iterations, c.name, c.iters)
+		}
+		if len(e.Metrics) != len(c.metrics) {
+			t.Errorf("parse(%q) metrics = %v, want %v", c.line, e.Metrics, c.metrics)
+			continue
+		}
+		for unit, want := range c.metrics {
+			if got := e.Metrics[unit]; got != want {
+				t.Errorf("parse(%q) %s = %v, want %v", c.line, unit, got, want)
+			}
+		}
+	}
+}
+
+func TestParseBenchOutputKeepsSamplesInOrder(t *testing.T) {
+	// -count 3 repeats the same benchmark; all samples survive in order.
+	log := `goos: linux
+goarch: amd64
+pkg: tako
+BenchmarkHierarchyThroughput-8   	       5	 200 ns/op	 100 sim-accesses/s
+BenchmarkHierarchyThroughput-8   	       5	 210 ns/op	  95 sim-accesses/s
+BenchmarkHierarchyThroughput-8   	       5	 190 ns/op	 105 sim-accesses/s
+PASS
+ok  	tako	3.1s
+`
+	entries, err := parseBenchOutput(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(entries))
+	}
+	want := []float64{200, 210, 190}
+	for i, e := range entries {
+		if e.Name != "BenchmarkHierarchyThroughput-8" {
+			t.Errorf("entry %d name = %q", i, e.Name)
+		}
+		if e.Metrics["ns/op"] != want[i] {
+			t.Errorf("entry %d ns/op = %v, want %v (order not preserved)", i, e.Metrics["ns/op"], want[i])
+		}
+	}
+}

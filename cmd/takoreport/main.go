@@ -5,6 +5,9 @@
 //
 //	takoreport [-full] [-j N] [-out report.txt] [-skip fig25,fig22]
 //	takoreport -bench bench.json [-golden ops.golden.json]
+//	takoreport -metrics runs.json -trace all.trace.json -trace-format chrome
+//	takoreport -attr -slowest 10
+//	takoreport -http :6060
 //
 // Every simulated system is an independent deterministic kernel, so the
 // experiments' variant fan-outs and sensitivity sweeps run -j
@@ -31,6 +34,23 @@
 // insensitive to timing-model tuning, so CI gates on them while cycle
 // counts are only reported. -update-golden rewrites the golden from the
 // current run.
+//
+// -metrics writes every run of every experiment into one combined JSON
+// document (the same shape as takosim -metrics). -trace streams every
+// experiment's events into one shared trace file; each simulated system
+// keeps a globally unique process id across experiments, so a full
+// report loads as one Perfetto timeline. -trace-format / -trace-kinds /
+// -trace-min-dur behave exactly as in takosim.
+//
+// -attr arms transaction-level latency attribution for every run and
+// appends the conservation-checked "where cycles go" decomposition table
+// to the report. -slowest K (implies -attr) prints the K slowest demand
+// accesses across all experiments with their per-state timelines.
+//
+// -http ADDR serves live introspection while the report runs: progress
+// across experiments (/progress), all metrics captured so far
+// (/metrics), the aggregated transaction-coverage heatmap (/txn), and
+// net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -42,10 +62,13 @@ import (
 	"time"
 
 	"tako/internal/exp"
+	"tako/internal/hier"
+	"tako/internal/introspect"
 	"tako/internal/morphs"
 	"tako/internal/prof"
 	"tako/internal/sched"
 	"tako/internal/system"
+	"tako/internal/trace"
 )
 
 // benchEntry aggregates one experiment's captured runs.
@@ -90,12 +113,24 @@ func main() {
 		golden       = flag.String("golden", "", "compare each experiment's op count against this golden JSON (requires -bench)")
 		updateGolden = flag.Bool("update-golden", false, "rewrite the -golden file from this run instead of comparing")
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metricsOut  = flag.String("metrics", "", "write every run's metrics snapshot (JSON, all experiments combined) to this file")
+		traceOut    = flag.String("trace", "", "stream every experiment's trace events into this one file")
+		traceFormat = flag.String("trace-format", "chrome", "trace format: chrome (Perfetto-loadable) or jsonl")
+		traceKinds  = flag.String("trace-kinds", "", "comma-separated event-kind filters (e.g. 'cb.*,dram.*,l3.*'); empty records everything")
+		traceMinDur = flag.Uint64("trace-min-dur", 0, "drop spans shorter than this many cycles (instants are kept)")
+
+		attr     = flag.Bool("attr", false, "arm transaction-level latency attribution and append the where-cycles-go decomposition to the report")
+		slowest  = flag.Int("slowest", 0, "print the K slowest demand accesses across all experiments with their state timelines (implies -attr)")
+		httpAddr = flag.String("http", "", "serve live introspection (progress, metrics, txn coverage, pprof) on this address while the report runs")
+
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		blockprofile = flag.String("blockprofile", "", "write a goroutine-blocking profile to this file at exit")
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, *blockprofile, *mutexprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "takoreport: %v\n", err)
 		os.Exit(1)
@@ -107,6 +142,58 @@ func main() {
 	// changes which figure of a pair simulates first — the survivors
 	// still share runs rather than recomputing.
 	morphs.SetRunCache(true)
+
+	if *slowest > 0 {
+		*attr = true
+	}
+	if *attr {
+		hier.SetAttributionDefaults(true, *slowest)
+	}
+
+	var insp *introspect.Server
+	if *httpAddr != "" {
+		insp, err = introspect.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "takoreport: -http: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("introspection server on http://%s\n", insp.Addr())
+		defer insp.Close()
+	}
+
+	// Everything below the bench report — combined metrics, the shared
+	// trace, attribution tables, introspection — reads captured run
+	// records, so any of those flags arms the per-experiment capture.
+	capturing := *bench != "" || *metricsOut != "" || *traceOut != "" ||
+		*attr || *httpAddr != ""
+
+	// One trace sink is shared by every experiment's capture window.
+	// StopCapture closes its sink at each window boundary, so the real
+	// sink is wrapped in KeepOpen and closed once after the loop; FirstPid
+	// threads the running system count through so process ids stay
+	// globally unique across windows in the one output file.
+	var traceFile *os.File
+	var traceSink trace.MultiSink
+	capCfg := system.CaptureConfig{TraceMinSpan: *traceMinDur}
+	for _, k := range strings.Split(*traceKinds, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			capCfg.TraceKinds = append(capCfg.TraceKinds, k)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "takoreport: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		traceSink, err = trace.SinkFor(*traceFormat, f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "takoreport: %v\n", err)
+			os.Exit(2)
+		}
+		capCfg.Sink = trace.KeepOpen(traceSink)
+	}
 
 	skipped := map[string]bool{}
 	for _, id := range strings.Split(*skip, ",") {
@@ -133,56 +220,136 @@ func main() {
 	emit("scale: %s\n\n", scale)
 	fmt.Printf("parallelism: %d workers, memoized run cache\n\n", sched.Workers())
 	var entries []benchEntry
+	var allRuns []system.RunRecord
 	var totalWall, totalExec float64
+	nextPid := 0
 	failures := 0
 	reportStart := time.Now()
+	if insp != nil {
+		n := 0
+		for _, e := range exp.All() {
+			if !skipped[e.ID] {
+				n++
+			}
+		}
+		insp.SetExperiments(n)
+	}
 	for _, e := range exp.All() {
 		if skipped[e.ID] {
 			emit("== %s: SKIPPED ==\n\n", e.ID)
 			continue
 		}
 		emit("== %s: %s ==\npaper: %s\n", e.ID, e.Title, e.Paper)
-		if *bench != "" {
-			system.StartCapture(system.CaptureConfig{})
+		if insp != nil {
+			insp.StartExperiment(e.ID)
+		}
+		if capturing {
+			cfg := capCfg
+			cfg.FirstPid = nextPid
+			system.StartCapture(cfg)
 		}
 		start := time.Now()
 		tbl, err := e.Run(!*full)
 		wallMS := float64(time.Since(start)) / float64(time.Millisecond)
-		if *bench != "" {
-			captured, _ := system.StopCapture()
-			entry := benchEntry{
-				ID:         e.ID,
-				WallMS:     wallMS,
-				ExecMS:     captured.ExecMS,
-				CachedRuns: captured.Cached,
-				Runs:       captured.Runs,
+		if capturing {
+			captured, capErr := system.StopCapture()
+			if capErr != nil {
+				fmt.Fprintf(os.Stderr, "takoreport: capture: %v\n", capErr)
+				os.Exit(1)
 			}
-			if entry.Runs == nil {
-				entry.Runs = []system.RunRecord{}
-			}
-			if entry.WallMS > 0 {
-				entry.Speedup = entry.ExecMS / entry.WallMS
-			}
-			for _, r := range entry.Runs {
-				entry.Ops += r.Ops
-				entry.Cycles += r.Cycles
-			}
+			nextPid += captured.Systems
 			if err == nil {
-				entries = append(entries, entry)
-				totalExec += captured.ExecMS
+				allRuns = append(allRuns, captured.Runs...)
+				if insp != nil {
+					insp.PublishRuns(captured.Runs)
+				}
+			}
+			if *bench != "" {
+				entry := benchEntry{
+					ID:         e.ID,
+					WallMS:     wallMS,
+					ExecMS:     captured.ExecMS,
+					CachedRuns: captured.Cached,
+					Runs:       captured.Runs,
+				}
+				if entry.Runs == nil {
+					entry.Runs = []system.RunRecord{}
+				}
+				if entry.WallMS > 0 {
+					entry.Speedup = entry.ExecMS / entry.WallMS
+				}
+				for _, r := range entry.Runs {
+					entry.Ops += r.Ops
+					entry.Cycles += r.Cycles
+				}
+				if err == nil {
+					entries = append(entries, entry)
+					totalExec += captured.ExecMS
+				}
 			}
 		}
 		totalWall += wallMS
 		if err != nil {
 			emit("ERROR: %v\n\n", err)
 			failures++
+			if insp != nil {
+				insp.FinishExperiment(e.ID)
+			}
 			continue
 		}
 		emit("%s", tbl.String())
 		emit("\n")
 		fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
+		if insp != nil {
+			insp.FinishExperiment(e.ID)
+		}
+	}
+	if insp != nil {
+		insp.SetPhase("writing report")
+	}
+	if *attr {
+		atbl, err := system.AttributionReport(allRuns)
+		emit("%s\n", atbl.String())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "takoreport: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *slowest > 0 {
+		if stbl := system.SlowestReport(allRuns, *slowest); stbl != nil {
+			emit("%s\n", stbl.String())
+		}
 	}
 	fmt.Printf("report total: %s wall clock\n", time.Since(reportStart).Round(time.Millisecond))
+	if traceFile != nil {
+		err := traceSink.Close()
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "takoreport: closing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%s)\n", *traceOut, *traceFormat)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "takoreport: %v\n", err)
+			os.Exit(1)
+		}
+		if err := system.WriteMetricsReport(f, allRuns); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "takoreport: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s (%d runs)\n", *metricsOut, len(allRuns))
+	}
+	if insp != nil {
+		insp.SetPhase("done")
+	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "takoreport: write %s: %v\n", *out, err)

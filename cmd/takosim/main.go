@@ -7,6 +7,8 @@
 //	takosim -exp fig13 [-full] [-j N] [-verify]
 //	takosim -exp fig13 -metrics out.json
 //	takosim -exp fig13 -trace out.trace.json -trace-format chrome
+//	takosim -exp fig13 -attr -slowest 10
+//	takosim -exp fig13 -http :6060
 //	takosim -explore [-explore-runs N] [-explore-scenario substr]
 //
 // -explore runs the coherence interleaving explorer instead of an
@@ -23,6 +25,20 @@
 // track per component, nested callback spans), "jsonl" one JSON object
 // per line. -trace-kinds filters events, -trace-min-dur drops spans
 // shorter than the given cycle count to keep large traces focused.
+//
+// -attr arms transaction-level latency attribution: every state
+// transition of the coherence machine is timestamped, so the metrics
+// snapshot gains txn.state.cycles{kind,state} dwell histograms and a
+// "where cycles go" decomposition prints after the experiment,
+// conservation-checked against the transaction totals. -slowest K
+// (implies -attr) additionally keeps the K slowest demand accesses per
+// run with their full state timelines and prints the global top K.
+// Attribution never changes simulated timing or architectural counts.
+//
+// -http ADDR serves live introspection while the experiment runs: run
+// progress and scheduler load (/progress), metrics snapshots (/metrics),
+// a transaction-coverage heatmap (/txn), and net/http/pprof under
+// /debug/pprof/.
 //
 // -j fans the experiment's independent simulated systems across worker
 // goroutines (each simulation stays single-threaded and deterministic;
@@ -48,6 +64,7 @@ import (
 
 	"tako/internal/exp"
 	"tako/internal/hier"
+	"tako/internal/introspect"
 	"tako/internal/morphs"
 	"tako/internal/oracle"
 	"tako/internal/prof"
@@ -71,8 +88,14 @@ func main() {
 		traceKinds  = flag.String("trace-kinds", "", "comma-separated event-kind filters (e.g. 'cb.*,dram.*,l3.*'); empty records everything")
 		traceMinDur = flag.Uint64("trace-min-dur", 0, "drop spans shorter than this many cycles (instants are kept)")
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		attr     = flag.Bool("attr", false, "arm transaction-level latency attribution (per-state dwell histograms + the where-cycles-go table; never changes simulated timing)")
+		slowest  = flag.Int("slowest", 0, "capture and print the K slowest demand accesses with their state timelines (implies -attr)")
+		httpAddr = flag.String("http", "", "serve live introspection (progress, metrics, txn coverage, pprof) on this address while running (e.g. :6060)")
+
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		blockprofile = flag.String("blockprofile", "", "write a goroutine-blocking profile to this file at exit")
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
 
 		explore         = flag.Bool("explore", false, "run the coherence interleaving explorer instead of an experiment (nonzero exit on any model-breaking schedule)")
 		exploreRuns     = flag.Int("explore-runs", 0, "schedules to try per explorer scenario (0 = default budget)")
@@ -80,7 +103,7 @@ func main() {
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, *blockprofile, *mutexprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "takosim: %v\n", err)
 		os.Exit(1)
@@ -92,6 +115,23 @@ func main() {
 
 	if *verify {
 		hier.SetVerifyDefaults(true, 128)
+	}
+	if *slowest > 0 {
+		*attr = true
+	}
+	if *attr {
+		hier.SetAttributionDefaults(true, *slowest)
+	}
+
+	var insp *introspect.Server
+	if *httpAddr != "" {
+		insp, err = introspect.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "takosim: -http: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("introspection server on http://%s\n", insp.Addr())
+		defer insp.Close()
 	}
 
 	if *explore {
@@ -143,7 +183,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	capturing := *metricsOut != "" || *traceOut != ""
+	// Attribution, coverage, slow-access, and introspection reporting all
+	// read from captured run records, so any of them arms the capture.
+	capturing := *metricsOut != "" || *traceOut != "" || *attr || *verify || *httpAddr != ""
 	var traceFile *os.File
 	if capturing {
 		cfg := system.CaptureConfig{TraceMinSpan: *traceMinDur}
@@ -169,6 +211,10 @@ func main() {
 		system.StartCapture(cfg)
 	}
 
+	if insp != nil {
+		insp.SetExperiments(1)
+		insp.StartExperiment(e.ID)
+	}
 	fmt.Printf("== %s: %s ==\npaper: %s\n\n", e.ID, e.Title, e.Paper)
 	start := time.Now()
 	tbl, err := e.Run(!*full)
@@ -178,12 +224,41 @@ func main() {
 	}
 	fmt.Print(tbl.String())
 	fmt.Printf("\n(%s wall clock)\n", time.Since(start).Round(time.Millisecond))
+	if insp != nil {
+		insp.FinishExperiment(e.ID)
+	}
 
 	if capturing {
 		captured, err := system.StopCapture()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "takosim: closing trace: %v\n", err)
 			os.Exit(1)
+		}
+		if insp != nil {
+			insp.PublishRuns(captured.Runs)
+			insp.SetPhase("done")
+		}
+		if *attr {
+			atbl, err := system.AttributionReport(captured.Runs)
+			fmt.Printf("\n%s", atbl.String())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "takosim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *slowest > 0 {
+			if stbl := system.SlowestReport(captured.Runs, *slowest); stbl != nil {
+				fmt.Printf("\n%s", stbl.String())
+			}
+		}
+		if *verify {
+			edges := system.AggregateTxnEdges(captured.Runs)
+			unvisited := hier.UnvisitedEdges(edges)
+			fmt.Printf("\ntxn coverage: %d/%d legal edges visited\n",
+				len(edges), len(hier.LegalEdges()))
+			for _, u := range unvisited {
+				fmt.Printf("  unvisited: %-10s %s -> %s\n", u.Kind, u.From, u.To)
+			}
 		}
 		if traceFile != nil {
 			if err := traceFile.Close(); err != nil {

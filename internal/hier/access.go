@@ -145,6 +145,7 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 	t := h.tiles[tileID]
 	la := a.Line()
 	h.checkEngineRestriction(tileID, a, o)
+	start := p.Now() // pre-translation, so attribution covers the TLB walk
 	// Engines translate through their own TLB/rTLB (charged at the
 	// engine port); core accesses use the core dTLB.
 	if !o.engine {
@@ -160,6 +161,13 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 	x.top = t.l1
 	if o.engine {
 		x.top = t.el1
+	}
+	if h.attr != nil {
+		// Re-seed the clocks at the pre-TLB start: translation time then
+		// lands in the Idle state and the access total matches Load's
+		// recorded latency window exactly (the conservation invariant).
+		x.stamp(start)
+		x.track = !o.engine && !o.prefetch
 	}
 	x.run()
 	ls := x.result

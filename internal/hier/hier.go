@@ -140,6 +140,14 @@ type Config struct {
 	// (CheckInvariants) every that many state-changing events.
 	SelfCheckEvery int
 
+	// Attribution arms transaction-level latency attribution (attr.go):
+	// per-state dwell-cycle histograms on every txn transition, plus —
+	// when SlowestK > 0 — a bounded ring of the K slowest demand
+	// accesses with their full state timelines. Never changes timing or
+	// architectural counts; off by default and free when off.
+	Attribution bool
+	SlowestK    int
+
 	// SamplePeriod is the cycle period for queue-depth gauge sampling
 	// (DRAM controller backlogs); 0 uses the dram package default.
 	SamplePeriod uint64
@@ -173,6 +181,8 @@ func DefaultConfig(tiles int) Config {
 	return Config{
 		FreshChecks:     defaultFreshChecks.Load(),
 		SelfCheckEvery:  int(defaultSelfCheckEvery.Load()),
+		Attribution:     defaultAttribution.Load(),
+		SlowestK:        int(defaultSlowestK.Load()),
 		Tiles:           tiles,
 		L1Size:          32 * 1024,
 		L1Ways:          8,
@@ -334,6 +344,9 @@ type Hierarchy struct {
 	// txnCounts is the transaction state-machine coverage table:
 	// observed transitions per (kind, from, to). Read via TxnCoverage.
 	txnCounts [nTxnKinds][nTxnStates][nTxnStates]uint64
+	// attr is the armed latency-attribution state (attr.go); nil when
+	// Config.Attribution is off, so the hot path pays one pointer check.
+	attr *txnAttr
 }
 
 // New builds a hierarchy. registry and runner may be nil (no Morphs).
@@ -359,6 +372,9 @@ func New(k *sim.Kernel, cfg Config, meter *energy.Meter, registry Registry, runn
 		comp:       newComponentNames(cfg.Tiles),
 	}
 	h.hot.resolve(h.Metrics)
+	if cfg.Attribution {
+		h.attr = newTxnAttr(h.Metrics, cfg.SlowestK)
+	}
 	h.DRAM.AttachMetrics(h.Metrics, cfg.SamplePeriod)
 	h.Mesh.AttachMetrics(h.Metrics)
 	h.freshChecks = cfg.FreshChecks

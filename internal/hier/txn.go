@@ -80,22 +80,42 @@ type txn struct {
 	futs      *[]*sim.Future
 	evicted   bool // the flush txn extracted (and processed) its line
 	aborted   bool // the line was locked; the flush walk retries later
+
+	// Latency-attribution clocks (attr.go), meaningful only while
+	// Hierarchy.attr is armed: opStart is the transaction's (or, for
+	// demand accesses, the pre-TLB) start; stateEnter is when the
+	// current state was entered. track marks demand accesses whose
+	// per-state timeline (tl) feeds the slowest-access ring.
+	opStart    sim.Cycle
+	stateEnter sim.Cycle
+	track      bool
+	tl         []tlSeg
+	tlTrunc    bool
 }
 
 // getTxn returns a zeroed transaction from the pool.
 func (h *Hierarchy) getTxn() *txn {
+	var t *txn
 	if n := len(h.txnPool); n > 0 {
-		t := h.txnPool[n-1]
+		t = h.txnPool[n-1]
 		h.txnPool[n-1] = nil
 		h.txnPool = h.txnPool[:n-1]
-		return t
+	} else {
+		t = &txn{}
 	}
-	return &txn{}
+	if h.attr != nil {
+		t.stamp(h.K.Now())
+	}
+	return t
 }
 
-// putTxn zeroes and recycles a finished transaction.
+// putTxn zeroes and recycles a finished transaction. The timeline
+// slice's capacity survives the reset so armed attribution stops
+// allocating once the pool is warm.
 func (h *Hierarchy) putTxn(t *txn) {
+	tl := t.tl[:0]
 	*t = txn{}
+	t.tl = tl
 	if len(h.txnPool) < 64 {
 		h.txnPool = append(h.txnPool, t)
 	}
@@ -112,6 +132,9 @@ func (t *txn) to(next txnState) {
 			t.kind, t.state, next, t.tileID, t.la, t.h.K.Now()))
 	}
 	t.h.txnCounts[t.kind][t.state][next]++
+	if a := t.h.attr; a != nil {
+		t.observeDwell(a, t.h.K.Now())
+	}
 	t.state = next
 }
 
@@ -120,6 +143,9 @@ func (t *txn) to(next txnState) {
 func (t *txn) run() {
 	for t.state != txnDone {
 		t.advance()
+	}
+	if a := t.h.attr; a != nil {
+		t.finishAttr(a)
 	}
 }
 

@@ -179,6 +179,61 @@ type TxnTransition struct {
 	Count    uint64
 }
 
+// TxnStateOrder returns the state names in machine order (Idle first,
+// Done last), for reports that render states as columns.
+func TxnStateOrder() []string {
+	out := make([]string, nTxnStates)
+	copy(out, txnStateNames[:])
+	return out
+}
+
+// TxnKindOrder returns the transaction kind names in machine order.
+func TxnKindOrder() []string {
+	out := make([]string, nTxnKinds)
+	copy(out, txnKindNames[:])
+	return out
+}
+
+// LegalEdges enumerates every edge the txnLegal table permits, in
+// deterministic (kind, from, to) order with zero counts — the universe
+// that TxnCoverage results are a subset of.
+func LegalEdges() []TxnTransition {
+	var out []TxnTransition
+	for k := 0; k < nTxnKinds; k++ {
+		for from := 0; from < nTxnStates; from++ {
+			for to := 0; to < nTxnStates; to++ {
+				if txnLegal[k][from]&(1<<to) != 0 {
+					out = append(out, TxnTransition{
+						Kind: txnKind(k).String(),
+						From: txnState(from).String(),
+						To:   txnState(to).String(),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// UnvisitedEdges returns the legal edges absent from observed (counts
+// ignored), in LegalEdges order — the state-machine paths a run or run
+// set never exercised. takosim -verify prints them so coverage holes in
+// the coherence machine are visible, not just violations.
+func UnvisitedEdges(observed []TxnTransition) []TxnTransition {
+	seen := make(map[TxnTransition]bool, len(observed))
+	for _, e := range observed {
+		e.Count = 0
+		seen[e] = true
+	}
+	var out []TxnTransition
+	for _, e := range LegalEdges() {
+		if !seen[e] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // TxnCoverage returns every state transition observed on this hierarchy
 // since construction, in deterministic (kind, from, to) order.
 func (h *Hierarchy) TxnCoverage() []TxnTransition {

@@ -1,6 +1,9 @@
 // Package prof wires the standard runtime profilers into the CLIs:
-// -cpuprofile / -memprofile flags map onto runtime/pprof's CPU and heap
-// profiles, written as files for `go tool pprof`.
+// -cpuprofile / -memprofile / -blockprofile / -mutexprofile flags map
+// onto runtime/pprof's CPU, heap, blocking, and mutex-contention
+// profiles, written as files for `go tool pprof`. Block and mutex
+// profiles are what show where the sharded engine's worker pool and the
+// capture/export locks actually contend.
 package prof
 
 import (
@@ -9,11 +12,13 @@ import (
 	"runtime/pprof"
 )
 
-// Start begins CPU profiling when cpu is non-empty and returns a stop
-// function that finishes the CPU profile and, when mem is non-empty,
-// writes a heap profile. Call stop at the end of the run, before any
-// os.Exit on the success path.
-func Start(cpu, mem string) (stop func() error, err error) {
+// Start begins the requested profiles and returns a stop function that
+// finishes and writes them. Empty names disable the corresponding
+// profile. Block and mutex profiling are sampled at full rate while
+// armed (SetBlockProfileRate(1) / SetMutexProfileFraction(1)) and reset
+// to off by stop. Call stop at the end of the run, before any os.Exit on
+// the success path.
+func Start(cpu, mem, block, mutex string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpu != "" {
 		cpuFile, err = os.Create(cpu)
@@ -25,10 +30,28 @@ func Start(cpu, mem string) (stop func() error, err error) {
 			return nil, err
 		}
 	}
+	if block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if block != "" {
+			runtime.SetBlockProfileRate(0)
+			if err := writeLookup("block", block); err != nil {
+				return err
+			}
+		}
+		if mutex != "" {
+			runtime.SetMutexProfileFraction(0)
+			if err := writeLookup("mutex", mutex); err != nil {
 				return err
 			}
 		}
@@ -46,4 +69,17 @@ func Start(cpu, mem string) (stop func() error, err error) {
 		}
 		return nil
 	}, nil
+}
+
+// writeLookup writes a named runtime profile ("block", "mutex") to path.
+func writeLookup(name, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -36,6 +36,20 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// inFlight counts tasks currently executing across all Map calls.
+var inFlight atomic.Int64
+
+// Active returns how many scheduled tasks are executing right now —
+// the live-introspection view of pool utilization.
+func Active() int { return int(inFlight.Load()) }
+
+// runTask executes one task under the in-flight counter.
+func runTask(i int, fn func(i int) error) error {
+	inFlight.Add(1)
+	defer inFlight.Add(-1)
+	return fn(i)
+}
+
 // Map runs fn(0..n-1) across the worker pool and waits for all of them.
 // With one worker (or one task) it runs inline on the caller's
 // goroutine, which keeps -j 1 byte-for-byte the sequential driver. All
@@ -78,7 +92,7 @@ func mapAll(n int, fn func(i int) error) []error {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = fn(i)
+			errs[i] = runTask(i, fn)
 		}
 		return errs
 	}
@@ -93,7 +107,7 @@ func mapAll(n int, fn func(i int) error) []error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = runTask(i, fn)
 			}
 		}()
 	}

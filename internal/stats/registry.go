@@ -52,11 +52,19 @@ func NewRegistry() *Registry {
 }
 
 // key renders name plus labels into the registry key:
-// "dram.queue.depth{ctrl=2}". Labels are kept in the order given; callers
-// use a consistent order per metric, and Snapshot sorts by full key.
+// "dram.queue.depth{ctrl=2}". Labels are canonicalized by sorting on
+// (key, value), so every argument order — and duplicate resolutions from
+// different call sites — produces the same metric identity. Resolution
+// is a cold path; the handles it returns are what hot paths hold.
 func key(name string, labels []Label) string {
 	if len(labels) == 0 {
 		return name
+	}
+	if len(labels) > 1 && !sort.SliceIsSorted(labels, labelLess(labels)) {
+		sorted := make([]Label, len(labels))
+		copy(sorted, labels)
+		sort.Slice(sorted, labelLess(sorted))
+		labels = sorted
 	}
 	var b strings.Builder
 	b.WriteString(name)
@@ -71,6 +79,16 @@ func key(name string, labels []Label) string {
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// labelLess orders labels by (key, value) for canonicalization.
+func labelLess(ls []Label) func(i, j int) bool {
+	return func(i, j int) bool {
+		if ls[i].Key != ls[j].Key {
+			return ls[i].Key < ls[j].Key
+		}
+		return ls[i].Value < ls[j].Value
+	}
 }
 
 // Counter returns the handle for the named counter, creating it if

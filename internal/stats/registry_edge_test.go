@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestLabelOrderCanonicalization pins that label argument order never
+// creates a second metric: every permutation resolves to the same cell,
+// and the registry key always renders labels sorted by (key, value).
+func TestLabelOrderCanonicalization(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("txn.cycles", L("kind", "access"), L("state", "Fetch"), L("tile", 3))
+	b := r.Counter("txn.cycles", L("tile", 3), L("kind", "access"), L("state", "Fetch"))
+	c := r.Counter("txn.cycles", L("state", "Fetch"), L("tile", 3), L("kind", "access"))
+	if a != b || b != c {
+		t.Fatal("permuted label orders resolved to different handles")
+	}
+	a.Add(5)
+	if got := r.Get("txn.cycles{kind=access,state=Fetch,tile=3}"); got != 5 {
+		t.Fatalf("canonical key lookup = %d, want 5:\n%s", got, r.String())
+	}
+	// The unsorted renderings must not exist as separate metrics.
+	if r.Get("txn.cycles{tile=3,kind=access,state=Fetch}") != 0 {
+		t.Fatal("non-canonical key exists in the registry")
+	}
+	// Single label takes the no-sort fast path but lands on the same shape.
+	r.Counter("one", L("k", "v")).Inc()
+	if r.Get("one{k=v}") != 1 {
+		t.Fatal("single-label key mismatch")
+	}
+	// Same key with different values sorts by value.
+	d := r.Counter("dup", L("k", "b"), L("k", "a"))
+	e := r.Counter("dup", L("k", "a"), L("k", "b"))
+	if d != e {
+		t.Fatal("duplicate-key labels with permuted values resolved differently")
+	}
+	d.Inc()
+	if r.Get("dup{k=a,k=b}") != 1 {
+		t.Fatalf("duplicate-key canonical form missing:\n%s", r.String())
+	}
+}
+
+// TestNameAndLabelCollisions pins the collision semantics: identical
+// (name, labels) from independent call sites share one cell per metric
+// type, label-value variants stay distinct, and the three metric
+// namespaces (counter/gauge/histogram) don't collide on a shared name.
+func TestNameAndLabelCollisions(t *testing.T) {
+	r := NewRegistry()
+	// Two call sites, same identity: one cell.
+	site1 := r.Counter("hits", L("tile", 0))
+	site2 := r.Counter("hits", L("tile", 0))
+	if site1 != site2 {
+		t.Fatal("same identity resolved to two cells")
+	}
+	site1.Inc()
+	site2.Inc()
+	if r.Get("hits{tile=0}") != 2 {
+		t.Fatalf("shared cell count = %d, want 2", r.Get("hits{tile=0}"))
+	}
+	// Different label value: a distinct cell.
+	if r.Counter("hits", L("tile", 1)) == site1 {
+		t.Fatal("distinct label values share a cell")
+	}
+	// Labeled and unlabeled are distinct identities.
+	if r.Counter("hits") == site1 {
+		t.Fatal("unlabeled name collided with its labeled variant")
+	}
+	// One name across all three types: three independent metrics.
+	r.Counter("shared").Add(3)
+	r.Gauge("shared").Set(7)
+	r.Histogram("shared").Observe(11)
+	snap := r.Snapshot()
+	if len(snap.Counters) == 0 || len(snap.Gauges) != 1 || len(snap.Histograms) != 1 {
+		t.Fatalf("cross-type name did not produce three metrics: %+v", snap)
+	}
+	if r.Get("shared") != 3 || r.Gauge("shared").Value() != 7 ||
+		r.Histogram("shared").Count() != 1 {
+		t.Fatal("cross-type metrics interfered with each other")
+	}
+}
+
+// TestQuantileBucketBoundaries pins quantile behavior exactly at log2
+// bucket edges, where interpolation is most likely to drift: exact
+// powers of two, the 0 and 1 buckets, and clamping to [Min, Max].
+func TestQuantileBucketBoundaries(t *testing.T) {
+	// All samples identical at a bucket's lower edge: every quantile is
+	// that value — interpolation inside [64, 128) must clamp to max.
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Observe(64)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 64 {
+			t.Fatalf("uniform 64: Quantile(%v) = %v, want 64", q, got)
+		}
+	}
+
+	// Bucket 0 holds only the value 0 but spans [0, 1): with half the
+	// mass there, p25 interpolates inside the zero bucket (strictly
+	// below 1) and p99 lands in the ones bucket, clamped to max = 1.
+	h = &Histogram{}
+	for i := 0; i < 50; i++ {
+		h.Observe(0)
+		h.Observe(1)
+	}
+	if got := h.Quantile(0.25); got < 0 || got >= 1 {
+		t.Fatalf("zeros+ones: p25 = %v, want within [0, 1)", got)
+	}
+	if got := h.Quantile(0.99); got != 1 {
+		t.Fatalf("zeros+ones: p99 = %v, want 1", got)
+	}
+
+	// Two adjacent power-of-two populations: quantiles are monotone in q,
+	// stay within [min, max], and cross the bucket boundary where the
+	// cumulative mass says they should (75% of mass is in [128, 256)).
+	h = &Histogram{}
+	for i := 0; i < 25; i++ {
+		h.Observe(64) // bucket [64, 128)
+	}
+	for i := 0; i < 75; i++ {
+		h.Observe(200) // bucket [128, 256)
+	}
+	if p10 := h.Quantile(0.10); p10 < 64 || p10 >= 128 {
+		t.Fatalf("p10 = %v, want within [64, 128)", p10)
+	}
+	if p90 := h.Quantile(0.90); p90 < 128 || p90 > 200 {
+		t.Fatalf("p90 = %v, want within [128, 200]", p90)
+	}
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: Quantile(%v) = %v < %v", q, v, prev)
+		}
+		if v < float64(h.Min()) || v > float64(h.Max()) {
+			t.Fatalf("Quantile(%v) = %v outside [%d, %d]", q, v, h.Min(), h.Max())
+		}
+		prev = v
+	}
+
+	// The bucket-crossing rank: 25 of 100 samples sit in [64, 128), so
+	// just below q=0.25 the estimate is inside the first bucket, exactly
+	// at q=0.25 interpolation reaches the bucket's upper edge, and just
+	// above it the estimate has moved into the second bucket.
+	if p := h.Quantile(0.24); p >= 128 {
+		t.Fatalf("p24 = %v, crossed the boundary a rank early", p)
+	}
+	if p := h.Quantile(0.25); p != 128 {
+		t.Fatalf("p25 = %v, want the exact bucket edge 128", p)
+	}
+	if p := h.Quantile(0.26); p < 128 {
+		t.Fatalf("p26 = %v, want past the 128 boundary", p)
+	}
+
+	// Empty and NaN-adjacent inputs stay defined.
+	empty := &Histogram{}
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	if v := h.Quantile(math.SmallestNonzeroFloat64); v != float64(h.Min()) {
+		t.Fatalf("tiny q = %v, want min %d", v, h.Min())
+	}
+}
+
+// TestConcurrentDistinctHandles exercises the supported concurrency
+// pattern under the race detector: parallel simulations each hold
+// pre-resolved handles to DIFFERENT cells (sched.Map fans kernels out,
+// one registry per kernel; here one cell per goroutine in one registry,
+// resolution done up front on one goroutine). Distinct cells share no
+// state, so -race must stay silent and every count must be exact.
+func TestConcurrentDistinctHandles(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 10000
+	counters := make([]*Counter, workers)
+	hists := make([]*Histogram, workers)
+	for i := range counters {
+		counters[i] = r.Counter("w.ops", L("worker", i))
+		hists[i] = r.Histogram("w.lat", L("worker", i))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < iters; n++ {
+				counters[i].Inc()
+				hists[i].Observe(uint64(n % 257))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if got := counters[i].Value(); got != iters {
+			t.Fatalf("worker %d counter = %d, want %d", i, got, iters)
+		}
+		if got := hists[i].Count(); got != iters {
+			t.Fatalf("worker %d histogram count = %d, want %d", i, got, iters)
+		}
+	}
+}

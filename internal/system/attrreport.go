@@ -1,0 +1,248 @@
+package system
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tako/internal/hier"
+	"tako/internal/stats"
+)
+
+// This file renders the "where cycles go" decomposition from captured
+// runs: per run and transaction kind, the share of cycles spent in each
+// state of the coherence state machine, read back from the
+// txn.state.cycles{kind,state} / txn.total.cycles{kind} histograms that
+// armed attribution (hier.Config.Attribution) records. The renderer also
+// verifies the conservation invariant — per kind, the summed per-state
+// dwell must equal the summed transaction totals exactly, and the
+// access-kind total must cover the recorded demand-load latency — so a
+// report is evidence, not just formatting.
+
+// attrKey addresses one parsed histogram.
+type attrKey struct{ kind, state string }
+
+// parseTxnHist decodes "txn.state.cycles{kind=K,state=S}" and
+// "txn.total.cycles{kind=K}" registry names (labels are canonically
+// sorted, kind before state).
+func parseTxnHist(name string) (k attrKey, total, ok bool) {
+	var rest string
+	switch {
+	case strings.HasPrefix(name, "txn.state.cycles{"):
+		rest = strings.TrimSuffix(strings.TrimPrefix(name, "txn.state.cycles{"), "}")
+	case strings.HasPrefix(name, "txn.total.cycles{"):
+		rest, total = strings.TrimSuffix(strings.TrimPrefix(name, "txn.total.cycles{"), "}"), true
+	default:
+		return attrKey{}, false, false
+	}
+	for _, part := range strings.Split(rest, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return attrKey{}, false, false
+		}
+		switch kv[0] {
+		case "kind":
+			k.kind = kv[1]
+		case "state":
+			k.state = kv[1]
+		}
+	}
+	if k.kind == "" || (!total && k.state == "") {
+		return attrKey{}, false, false
+	}
+	return k, total, true
+}
+
+// runAttr is one run's parsed attribution data.
+type runAttr struct {
+	label   string
+	dwell   map[attrKey]float64 // (kind, state) -> summed cycles
+	total   map[string]float64  // kind -> summed cycles
+	count   map[string]uint64   // kind -> transactions
+	loadLat float64             // load.latency summed cycles
+}
+
+// parseRunAttr extracts the attribution histograms from one run record.
+func parseRunAttr(r *RunRecord) runAttr {
+	ra := runAttr{
+		label: r.Label,
+		dwell: map[attrKey]float64{},
+		total: map[string]float64{},
+		count: map[string]uint64{},
+	}
+	for _, h := range r.Metrics.Histograms {
+		if h.Name == "load.latency" {
+			ra.loadLat = h.Sum
+			continue
+		}
+		k, total, ok := parseTxnHist(h.Name)
+		if !ok {
+			continue
+		}
+		if total {
+			ra.total[k.kind] = h.Sum
+			ra.count[k.kind] = h.Count
+		} else {
+			ra.dwell[k] = h.Sum
+		}
+	}
+	return ra
+}
+
+// AttributionReport builds the cycle-decomposition table from captured
+// runs — one row per (run, kind) with the share of cycles each machine
+// state accounts for — and checks conservation. Runs without attribution
+// histograms (disarmed captures, cached replays from disarmed runs) are
+// skipped; if no run carries attribution data the table is empty. The
+// returned error reports every conservation violation; the table is
+// still valid alongside it.
+func AttributionReport(runs []RunRecord) (*stats.Table, error) {
+	parsed := make([]runAttr, 0, len(runs))
+	used := map[string]bool{} // states with cycles anywhere, for column pruning
+	for i := range runs {
+		ra := parseRunAttr(&runs[i])
+		if len(ra.total) == 0 {
+			continue
+		}
+		parsed = append(parsed, ra)
+		for k, v := range ra.dwell {
+			if v > 0 {
+				used[k.state] = true
+			}
+		}
+	}
+
+	var states []string
+	for _, s := range hier.TxnStateOrder() {
+		if used[s] {
+			states = append(states, s)
+		}
+	}
+	headers := append([]string{"run", "kind", "txns", "cycles"}, states...)
+	tbl := stats.NewTable("where cycles go — per-state share of transaction cycles", headers...)
+
+	var violations []string
+	for _, ra := range parsed {
+		for _, kind := range hier.TxnKindOrder() {
+			total, ok := ra.total[kind]
+			if !ok || ra.count[kind] == 0 {
+				continue
+			}
+			row := []string{ra.label, kind,
+				fmt.Sprintf("%d", ra.count[kind]), fmt.Sprintf("%.0f", total)}
+			var dwellSum float64
+			for _, s := range states {
+				d := ra.dwell[attrKey{kind, s}]
+				dwellSum += d
+				if total > 0 {
+					row = append(row, fmt.Sprintf("%.1f%%", 100*d/total))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			// States pruned from the columns still count toward the
+			// conservation sum.
+			for k, d := range ra.dwell {
+				if k.kind == kind && !used[k.state] {
+					dwellSum += d
+				}
+			}
+			if dwellSum != total {
+				violations = append(violations, fmt.Sprintf(
+					"%s kind=%s: Σ state dwell %.0f != Σ txn total %.0f",
+					ra.label, kind, dwellSum, total))
+			}
+			tbl.AddRow(row...)
+		}
+		// Demand loads are a subset of access transactions, so their
+		// recorded latency can never exceed the access-kind cycles.
+		if acc, ok := ra.total["access"]; ok && ra.loadLat > acc {
+			violations = append(violations, fmt.Sprintf(
+				"%s: load.latency sum %.0f exceeds access txn cycles %.0f",
+				ra.label, ra.loadLat, acc))
+		}
+	}
+	if len(violations) > 0 {
+		return tbl, fmt.Errorf("attribution conservation violated:\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+	return tbl, nil
+}
+
+// SlowestReport merges every run's captured slow-access ring, keeps the
+// k slowest across the whole set, and renders them as a table — rank,
+// which run and tile issued the access, and the per-state timeline that
+// explains where the cycles went. Returns nil when no run captured a
+// slow ring (attribution disarmed or -slowest 0).
+func SlowestReport(runs []RunRecord, k int) *stats.Table {
+	type slowRun struct {
+		run string
+		acc hier.SlowAccess
+	}
+	var all []slowRun
+	for i := range runs {
+		for _, a := range runs[i].Slowest {
+			all = append(all, slowRun{runs[i].Label, a})
+		}
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	// Stable on (latency desc, run, start) so ties render deterministically.
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].acc.Latency != all[j].acc.Latency {
+			return all[i].acc.Latency > all[j].acc.Latency
+		}
+		if all[i].run != all[j].run {
+			return all[i].run < all[j].run
+		}
+		return all[i].acc.Start < all[j].acc.Start
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	tbl := stats.NewTable("slowest demand accesses — state timelines",
+		"#", "run", "tile", "addr", "rw", "start", "cycles", "timeline")
+	for i, s := range all {
+		rw := "R"
+		if s.acc.Write {
+			rw = "W"
+		}
+		var tl strings.Builder
+		for j, seg := range s.acc.Timeline {
+			if j > 0 {
+				tl.WriteString(" ")
+			}
+			fmt.Fprintf(&tl, "%s:%d", seg.State, seg.Cycles)
+		}
+		if s.acc.Truncated {
+			tl.WriteString(" …")
+		}
+		tbl.AddRow(fmt.Sprintf("%d", i+1), s.run,
+			fmt.Sprintf("%d", s.acc.Tile), s.acc.Addr, rw,
+			fmt.Sprintf("%d", s.acc.Start), fmt.Sprintf("%d", s.acc.Latency),
+			tl.String())
+	}
+	return tbl
+}
+
+// AggregateTxnEdges merges the per-run coverage tables of several runs
+// into one deterministic (kind, from, to)-ordered edge list with summed
+// counts — the input for coverage heatmaps and unvisited-edge reports.
+func AggregateTxnEdges(runs []RunRecord) []hier.TxnTransition {
+	type edge struct{ kind, from, to string }
+	counts := map[edge]uint64{}
+	for i := range runs {
+		for _, e := range runs[i].TxnEdges {
+			counts[edge{e.Kind, e.From, e.To}] += e.Count
+		}
+	}
+	var out []hier.TxnTransition
+	for _, le := range hier.LegalEdges() {
+		if c, ok := counts[edge{le.Kind, le.From, le.To}]; ok && c > 0 {
+			le.Count = c
+			out = append(out, le)
+		}
+	}
+	return out
+}

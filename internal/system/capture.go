@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"tako/internal/hier"
 	"tako/internal/stats"
 	"tako/internal/trace"
 )
@@ -38,6 +39,12 @@ type CaptureConfig struct {
 	TraceMinSpan uint64
 	// TraceCapacity sizes each run's in-memory ring (default 4096).
 	TraceCapacity int
+	// FirstPid offsets the pids this capture assigns to its systems.
+	// Pids reset per capture window by default (so repeated captures are
+	// byte-identical); a driver running several capture windows into ONE
+	// shared trace file (takoreport) threads the previous window's
+	// Systems count through here to keep pids globally unique.
+	FirstPid int
 }
 
 // RunRecord is one simulated system's captured run.
@@ -48,6 +55,15 @@ type RunRecord struct {
 	KernelEvents uint64         `json:"kernel_events"`
 	Cached       bool           `json:"cached,omitempty"` // served by the memo cache, not re-simulated
 	Metrics      stats.Snapshot `json:"metrics"`
+	// TxnEdges is the run's transaction state-machine coverage: every
+	// observed (kind, from, to) edge with its hit count, in deterministic
+	// order. Always captured — it is cheap, and reports/introspection
+	// aggregate it into coverage heatmaps.
+	TxnEdges []hier.TxnTransition `json:"txn_edges,omitempty"`
+	// Slowest is the run's top-K slowest demand accesses with their
+	// state timelines; present only when attribution armed a slow ring
+	// (takosim/takoreport -slowest).
+	Slowest []hier.SlowAccess `json:"slowest,omitempty"`
 }
 
 // CaptureResult is everything one capture window collected: the run
@@ -60,6 +76,10 @@ type CaptureResult struct {
 	Runs   []RunRecord
 	ExecMS float64
 	Cached int
+	// Systems counts the systems built (pids assigned) in this window;
+	// multi-window drivers add it to CaptureConfig.FirstPid for the next
+	// window so one shared trace file never reuses a pid.
+	Systems int
 }
 
 type capture struct {
@@ -82,7 +102,7 @@ func StartCapture(cfg CaptureConfig) {
 	if active != nil {
 		panic("system: capture already active")
 	}
-	active = &capture{cfg: cfg}
+	active = &capture{cfg: cfg, nextPid: cfg.FirstPid}
 }
 
 // StopCapture disarms the capture, closes the trace sink, and returns
@@ -94,12 +114,54 @@ func StopCapture() (CaptureResult, error) {
 		return CaptureResult{}, nil
 	}
 	res := active.result
+	res.Systems = active.nextPid - active.cfg.FirstPid
 	var err error
 	if active.cfg.Sink != nil {
 		err = active.cfg.Sink.Close()
 	}
 	active = nil
 	return res, err
+}
+
+// Progress is a point-in-time view of the active capture window, served
+// by the live introspection endpoint (/progress). All zero when no
+// capture is armed.
+type Progress struct {
+	Active    bool    `json:"active"`
+	Systems   int     `json:"systems"`   // systems built this window
+	Submitted int     `json:"submitted"` // run records submitted
+	Cached    int     `json:"cached"`    // of those, served by the memo cache
+	ExecMS    float64 `json:"exec_ms"`   // summed serial cost of executed runs
+}
+
+// CaptureProgress snapshots the active capture window's counters.
+func CaptureProgress() Progress {
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	if active == nil {
+		return Progress{}
+	}
+	return Progress{
+		Active:    true,
+		Systems:   active.nextPid - active.cfg.FirstPid,
+		Submitted: len(active.result.Runs),
+		Cached:    active.result.Cached,
+		ExecMS:    active.result.ExecMS,
+	}
+}
+
+// CaptureRuns copies the run records submitted to the active capture so
+// far (nil when no capture is armed) — the live half of an introspection
+// metrics snapshot, alongside whatever the driver already published.
+func CaptureRuns() []RunRecord {
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	if active == nil || len(active.result.Runs) == 0 {
+		return nil
+	}
+	out := make([]RunRecord, len(active.result.Runs))
+	copy(out, active.result.Runs)
+	return out
 }
 
 // attachCapture wires a freshly built System into the active capture (if
@@ -151,6 +213,8 @@ func LabelRun(s *System, label string, ops uint64) *RunRecord {
 		Ops:          ops,
 		KernelEvents: s.K.Events(),
 		Metrics:      s.H.Metrics.Snapshot(),
+		TxnEdges:     s.H.TxnCoverage(),
+		Slowest:      s.H.SlowestAccesses(),
 	}
 }
 

@@ -157,6 +157,48 @@ func TestCaptureInactiveIsInert(t *testing.T) {
 	}
 }
 
+// TestCaptureProgress pins the live-introspection counters: zero when
+// disarmed, counting systems and submissions while a window is open, and
+// CaptureRuns returning an isolated copy of the submitted records.
+func TestCaptureProgress(t *testing.T) {
+	if p := CaptureProgress(); p.Active || p.Systems != 0 || p.Submitted != 0 {
+		t.Fatalf("disarmed progress = %+v, want zero", p)
+	}
+	if CaptureRuns() != nil {
+		t.Fatal("disarmed CaptureRuns != nil")
+	}
+
+	StartCapture(CaptureConfig{FirstPid: 7})
+	if p := CaptureProgress(); !p.Active || p.Systems != 0 {
+		t.Fatalf("armed empty progress = %+v", p)
+	}
+	captureWorkload(t, "test/progress")
+	p := CaptureProgress()
+	if p.Systems != 1 || p.Submitted != 1 || p.Cached != 0 || p.ExecMS != 1.5 {
+		t.Fatalf("mid-window progress = %+v, want 1 system, 1 submitted, 1.5 exec ms", p)
+	}
+	live := CaptureRuns()
+	if len(live) != 1 || live[0].Label != "test/progress" {
+		t.Fatalf("CaptureRuns = %+v", live)
+	}
+	// The copy is isolated: mutating it must not corrupt the capture log.
+	live[0].Label = "mutated"
+	res, err := StopCapture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs[0].Label != "test/progress" {
+		t.Error("CaptureRuns returned a view into the capture log, not a copy")
+	}
+	// FirstPid offsets pids but not the Systems count.
+	if res.Systems != 1 {
+		t.Errorf("Systems = %d, want 1", res.Systems)
+	}
+	if p := CaptureProgress(); p.Active {
+		t.Error("progress still active after StopCapture")
+	}
+}
+
 // TestCaptureRejectsNesting pins the capture-already-active panic.
 func TestCaptureRejectsNesting(t *testing.T) {
 	StartCapture(CaptureConfig{})
