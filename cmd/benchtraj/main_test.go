@@ -99,3 +99,88 @@ ok  	tako	3.1s
 		}
 	}
 }
+
+const multiCoreLog = `goos: linux
+BenchmarkShardedVsPartitioned/partitioned-8     3  11000000 ns/op  8.000 cpus  8.000 gomaxprocs  300000 sim-cycles/s
+BenchmarkShardedVsPartitioned/sharded-w1-8      3  12000000 ns/op  8.000 cpus  8.000 gomaxprocs  290000 sim-cycles/s
+BenchmarkShardedVsPartitioned/sharded-w4-8      3   5500000 ns/op  8.000 cpus  8.000 gomaxprocs  600000 sim-cycles/s
+PASS
+`
+
+const singleCoreLog = `BenchmarkShardedVsPartitioned/partitioned     2  11000000 ns/op  1.000 cpus  1.000 gomaxprocs
+BenchmarkShardedVsPartitioned/sharded-w4      2  17000000 ns/op  1.000 cpus  1.000 gomaxprocs
+`
+
+func parseLog(t *testing.T, log string) []benchEntry {
+	t.Helper()
+	entries, err := parseBenchOutput(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+func TestBenchVariant(t *testing.T) {
+	for name, want := range map[string]string{
+		"BenchmarkShardedVsPartitioned/partitioned-8": "partitioned",
+		"BenchmarkShardedVsPartitioned/partitioned":   "partitioned",
+		"BenchmarkShardedVsPartitioned/sharded-w2-16": "sharded-w2",
+		"BenchmarkShardedVsPartitioned/sharded-w2":    "sharded-w2",
+	} {
+		if got := benchVariant(name); got != want {
+			t.Errorf("benchVariant(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestBuildShardedSpeedMultiCore(t *testing.T) {
+	sp := buildShardedSpeed(parseLog(t, multiCoreLog))
+	if sp == nil {
+		t.Fatal("no sharded summary built")
+	}
+	if sp.SingleCore {
+		t.Error("multi-core sweep marked single-core")
+	}
+	byVariant := map[string]shardedRow{}
+	for _, r := range sp.Rows {
+		byVariant[r.Variant] = r
+	}
+	if s := byVariant["sharded-w4"].SpeedupVsPartitioned; s < 1.99 || s > 2.01 {
+		t.Errorf("sharded-w4 speedup = %v, want 2.0", s)
+	}
+	if s := byVariant["partitioned"].SpeedupVsPartitioned; s != 0 {
+		t.Errorf("baseline row carries a speedup: %v", s)
+	}
+}
+
+// A single-core sweep is annotated — per row and summary-wide — not
+// silently folded into the speedup column; and when both single- and
+// multi-core samples exist for a variant, only the multi-core ones
+// count.
+func TestBuildShardedSpeedSingleCoreAnnotation(t *testing.T) {
+	sp := buildShardedSpeed(parseLog(t, singleCoreLog))
+	if sp == nil {
+		t.Fatal("no sharded summary built")
+	}
+	if !sp.SingleCore {
+		t.Error("single-core sweep not annotated at the summary level")
+	}
+	for _, r := range sp.Rows {
+		if !r.SingleCore {
+			t.Errorf("row %s not annotated single-core", r.Variant)
+		}
+	}
+
+	sp = buildShardedSpeed(parseLog(t, singleCoreLog+multiCoreLog))
+	if sp.SingleCore {
+		t.Error("mixed sweep marked single-core despite multi-core samples")
+	}
+	for _, r := range sp.Rows {
+		if r.SingleCore {
+			t.Errorf("row %s kept its single-core sample over the multi-core one", r.Variant)
+		}
+		if r.Variant == "sharded-w4" && (r.SpeedupVsPartitioned < 1.99 || r.SpeedupVsPartitioned > 2.01) {
+			t.Errorf("sharded-w4 speedup = %v, want 2.0 (multi-core samples only)", r.SpeedupVsPartitioned)
+		}
+	}
+}

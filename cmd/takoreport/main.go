@@ -106,9 +106,12 @@ func main() {
 		full    = flag.Bool("full", false, "run at full (slow) scale")
 		jobs    = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
 		tilePar = flag.Int("tile-par", 1, "tile queues to partition each simulation's event kernel into (1 = sequential single-queue kernel; the report is identical at any width)")
-		out     = flag.String("out", "", "also write the report to this file")
-		skip    = flag.String("skip", "", "comma-separated experiment ids to skip")
-		bench   = flag.String("bench", "", "write per-experiment metrics (JSON) to this file")
+
+		sharded      = flag.Bool("sharded", false, "host baseline (NoTako) machines on the tile-sharded message-passing engine (cycle counts differ from the classic engine; byte-identical at any -shard-workers)")
+		shardWorkers = flag.Int("shard-workers", 0, "worker goroutines per sharded simulation (≤1 = deterministic sequenced schedule)")
+		out          = flag.String("out", "", "also write the report to this file")
+		skip         = flag.String("skip", "", "comma-separated experiment ids to skip")
+		bench        = flag.String("bench", "", "write per-experiment metrics (JSON) to this file")
 
 		golden       = flag.String("golden", "", "compare each experiment's op count against this golden JSON (requires -bench)")
 		updateGolden = flag.Bool("update-golden", false, "rewrite the -golden file from this run instead of comparing")
@@ -138,6 +141,12 @@ func main() {
 
 	sched.SetWorkers(*jobs)
 	system.SetDefaultTilePar(*tilePar)
+	if *sharded && *traceOut != "" {
+		// Sharded hierarchies have no single commit order to trace.
+		fmt.Fprintln(os.Stderr, "takoreport: -trace is not supported with -sharded (metrics capture still works)")
+		os.Exit(1)
+	}
+	system.SetDefaultSharded(*sharded, *shardWorkers)
 	// The run cache is process-global and never evicts, so -skip only
 	// changes which figure of a pair simulates first — the survivors
 	// still share runs rather than recomputing.

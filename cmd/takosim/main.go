@@ -80,7 +80,10 @@ func main() {
 		full    = flag.Bool("full", false, "run at full (slow) scale instead of quick scale")
 		jobs    = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS; output is identical at any -j)")
 		tilePar = flag.Int("tile-par", 1, "tile queues to partition each simulation's event kernel into (1 = sequential single-queue kernel; output is identical at any width, and the flag composes with -j)")
-		verify  = flag.Bool("verify", false, "run with coherence-freshness assertions and the periodic hierarchy-wide invariant checker (slower; panics on the first violation)")
+
+		sharded      = flag.Bool("sharded", false, "host baseline (NoTako) machines on the tile-sharded message-passing engine — one kernel per tile, cross-tile traffic as lookahead-respecting messages; cycle counts differ from the classic engine but are byte-identical at any -shard-workers")
+		shardWorkers = flag.Int("shard-workers", 0, "worker goroutines per sharded simulation (≤1 = deterministic sequenced schedule; results identical at any count)")
+		verify       = flag.Bool("verify", false, "run with coherence-freshness assertions and the periodic hierarchy-wide invariant checker (slower; panics on the first violation)")
 
 		metricsOut  = flag.String("metrics", "", "write per-run metrics snapshots (JSON) to this file")
 		traceOut    = flag.String("trace", "", "stream structured trace events to this file")
@@ -111,6 +114,12 @@ func main() {
 
 	sched.SetWorkers(*jobs)
 	system.SetDefaultTilePar(*tilePar)
+	if *sharded && *traceOut != "" {
+		// Sharded hierarchies have no single commit order to trace.
+		fmt.Fprintln(os.Stderr, "takosim: -trace is not supported with -sharded (metrics capture still works)")
+		os.Exit(1)
+	}
+	system.SetDefaultSharded(*sharded, *shardWorkers)
 	morphs.SetRunCache(true)
 
 	if *verify {

@@ -86,14 +86,19 @@ const DefaultSamplePeriod sim.Cycle = 1024
 // samplePeriod cycles (0 = DefaultSamplePeriod). Sampling is lazy — the
 // backlog is inspected at request time, never via kernel events — so it
 // adds no events to the simulation and cannot perturb timing.
-func (d *DRAM) AttachMetrics(r *stats.Registry, samplePeriod sim.Cycle) {
-	d.mReads = r.Counter("dram.reads")
-	d.mWrites = r.Counter("dram.writes")
-	d.mQueueWait = r.Histogram("dram.queue.wait")
+//
+// Extra labels distinguish multiple DRAM instances sharing one registry
+// (the sharded hierarchy hosts one single-controller instance per home
+// shard); gauges in particular must stay single-writer to keep their
+// last-sample field deterministic.
+func (d *DRAM) AttachMetrics(r *stats.Registry, samplePeriod sim.Cycle, labels ...stats.Label) {
+	d.mReads = r.Counter("dram.reads", labels...)
+	d.mWrites = r.Counter("dram.writes", labels...)
+	d.mQueueWait = r.Histogram("dram.queue.wait", labels...)
 	d.mDepth = make([]*stats.Gauge, d.cfg.Controllers)
 	d.compCtrl = make([]string, d.cfg.Controllers)
 	for i := range d.mDepth {
-		d.mDepth[i] = r.Gauge("dram.queue.depth", stats.L("ctrl", i))
+		d.mDepth[i] = r.Gauge("dram.queue.depth", append([]stats.Label{stats.L("ctrl", i)}, labels...)...)
 		d.compCtrl[i] = fmt.Sprintf("dram.%d", i)
 	}
 	if samplePeriod == 0 {

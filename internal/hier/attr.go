@@ -155,7 +155,7 @@ func (t *txn) observeDwell(a *txnAttr, now sim.Cycle) {
 // accesses are offered to the slow ring. Called by run() in the same
 // cycle as the final transition, so the total equals the summed dwell.
 func (t *txn) finishAttr(a *txnAttr) {
-	total := uint64(t.h.K.Now() - t.opStart)
+	total := uint64(t.p.Now() - t.opStart)
 	a.total[t.kind].Observe(total)
 	if t.track {
 		a.offer(t, total)

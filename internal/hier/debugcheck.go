@@ -13,7 +13,7 @@ import (
 // for configs built by DefaultConfig with SetVerifyDefaults.
 
 func (h *Hierarchy) debugDir(la mem.Addr) string {
-	e := h.dir.get(la)
+	e := h.dirT(la).get(la)
 	if e == nil {
 		return "dir{}"
 	}

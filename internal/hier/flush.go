@@ -12,6 +12,9 @@ import (
 //
 // PRIVATE flushes walk tileID's L2; SHARED flushes walk every L3 bank.
 func (h *Hierarchy) FlushRegion(p *sim.Proc, tileID int, region mem.Region, level Level) {
+	if h.sharded {
+		panic("hier: FlushRegion is not supported on a sharded build (Morph/flush paths are classic-mode only)")
+	}
 	h.Trace("flush", "flush.start", region.String())
 	var futs []*sim.Future
 	switch level {
@@ -51,7 +54,7 @@ func (h *Hierarchy) flushPrivate(p *sim.Proc, tileID int, region mem.Region, fut
 			// Each line is evicted by a kindFlushEvict transaction: one
 			// lock check (a locked line is skipped this pass), extract,
 			// and the eviction pipeline.
-			x := h.getTxn()
+			x := h.getTxn(t)
 			x.h, x.p, x.kind = h, p, kindFlushEvict
 			x.tileID, x.la = tileID, la
 			x.t = t
@@ -93,7 +96,7 @@ func (h *Hierarchy) flushBank(p *sim.Proc, bankID int, region mem.Region, futs *
 		}
 		progressed := false
 		for _, la := range lines {
-			x := h.getTxn()
+			x := h.getTxn(hm)
 			x.h, x.p, x.kind = h, p, kindFlushEvict
 			x.flushBank = true
 			x.tileID, x.la = bankID, la
@@ -117,6 +120,9 @@ func (h *Hierarchy) flushBank(p *sim.Proc, bankID int, region mem.Region, futs *
 // Morph is registered or unregistered, its address range is flushed").
 // Dirty lines are written back to memory first to preserve their data.
 func (h *Hierarchy) InvalidateRegion(p *sim.Proc, region mem.Region) {
+	if h.sharded {
+		panic("hier: InvalidateRegion is not supported on a sharded build (Morph registration is classic-mode only)")
+	}
 	for _, t := range h.tiles {
 		for _, c := range t.privateCaches() {
 			for _, la := range c.LinesInRegion(region) {
@@ -127,7 +133,7 @@ func (h *Hierarchy) InvalidateRegion(p *sim.Proc, region mem.Region) {
 		}
 		for _, la := range t.l3.LinesInRegion(region) {
 			if ls, ok := t.l3.ExtractLine(la); ok {
-				h.dir.delete(la)
+				h.dirT(la).delete(la)
 				if ls.Dirty {
 					h.DRAM.WriteLineNoWait(la, &ls.Data)
 				}

@@ -24,6 +24,7 @@ import (
 	"tako/internal/cache"
 	"tako/internal/dram"
 	"tako/internal/energy"
+	"tako/internal/flat"
 	"tako/internal/mem"
 	"tako/internal/noc"
 	"tako/internal/sim"
@@ -253,7 +254,17 @@ type stream struct {
 
 // tile bundles one tile's private state.
 type tile struct {
-	id  int
+	id int
+	// K is the kernel this tile's processes and futures live on: the
+	// hierarchy-wide kernel on a classic build, the tile's own shard
+	// kernel on a sharded build (sharded.go). Tile-affine spawns
+	// (prefetches, writeback timing, RMO issue) go through it so they
+	// stay on the tile's shard.
+	K *sim.Kernel
+	// shard is the tile's mailbox endpoint on a sharded build (nil on a
+	// classic kernel): all cross-tile effects leave through it.
+	shard *sim.Shard
+
 	l1  *cache.Cache // core L1d
 	el1 *cache.Cache // engine L1d
 	l2  *cache.Cache // private L2
@@ -283,6 +294,39 @@ type tile struct {
 
 	rtlb *tlb.TLB
 	dtlb *tlb.TLB
+
+	// txnPool recycles this tile's coherence-transaction objects
+	// (txn.go). Pooling per tile (rather than per hierarchy) keeps the
+	// pool single-shard on a sharded build, so getTxn/putTxn never
+	// synchronize.
+	txnPool []*txn
+	// txnCounts is this tile's slice of the transaction state-machine
+	// coverage table; TxnCoverage sums across tiles.
+	txnCounts txnCountTable
+	// loadLat records demand-load latencies issued from this tile;
+	// merged into Hierarchy.LoadLat when the run finishes (FinishStats).
+	// Classic builds observe into Hierarchy.LoadLat directly.
+	loadLat stats.Dist
+
+	// Sharded-mode state (sharded.go); unused on a classic build.
+	//
+	// owned is the tile's local view of which lines it holds with write
+	// permission: set when a write grant arrives from home, cleared by
+	// invalidation/downgrade handlers and on last-copy drops. It stands
+	// in for the classic hasExclusive directory peek, which a remote
+	// tile cannot perform under message passing.
+	owned flat.Table[struct{}]
+	// lastArr[d] is the latest arrival cycle already promised on this
+	// tile's ordered channel to tile d; sendOrdered uses it to keep each
+	// (src,dst) channel FIFO even when modeled latencies differ.
+	lastArr []sim.Cycle
+	// reqs pools homeReq message payloads.
+	reqs []*homeReq
+	// invPool recycles back-invalidation reply scratch (home side).
+	invPool [][]invReply
+	// homeNames pre-renders home-transaction proc names per kind so
+	// arriving requests don't format a string per message.
+	homeNames [nTxnKinds]string
 }
 
 // Hierarchy is the full modeled memory system.
@@ -297,6 +341,11 @@ type Hierarchy struct {
 	runner   Runner
 	tiles    []*tile
 	dir      dirTable
+	// dirs banks the directory per home tile on a sharded build (nil
+	// classically): each bank is touched only from its home shard, so the
+	// open-addressed tables never need locking. Use dirT(la), not the
+	// fields, to resolve a line's directory.
+	dirs []dirTable
 
 	// cbInflight tracks all in-flight eviction/writeback callbacks so
 	// FlushRegion can block until every callback completes (§4.4).
@@ -335,18 +384,24 @@ type Hierarchy struct {
 	wbTimingFn  func(p *sim.Proc, a0, a1 uint64)
 	protectedFn func(tag mem.Addr) bool
 
-	// txnPool recycles coherence-transaction objects (txn.go): each
-	// access, home fetch, RMO, NT store, upgrade, and flush eviction
-	// drives one, and pooling them (with their embedded line buffers,
-	// which are threaded through interface calls and would otherwise
-	// escape) keeps the hot path allocation-free.
-	txnPool []*txn
-	// txnCounts is the transaction state-machine coverage table:
-	// observed transitions per (kind, from, to). Read via TxnCoverage.
-	txnCounts [nTxnKinds][nTxnStates][nTxnStates]uint64
 	// attr is the armed latency-attribution state (attr.go); nil when
 	// Config.Attribution is off, so the hot path pays one pointer check.
 	attr *txnAttr
+
+	// Sharded-mode state (sharded.go). sharded selects the
+	// message-passing cross-tile protocol: each tile's state machine
+	// runs on its own shard kernel and all cross-tile effects travel as
+	// Sharded mailbox messages. eng is the engine hosting the shards.
+	// K is nil on a sharded build — every path must use a tile kernel
+	// or the running proc's kernel.
+	sharded bool
+	eng     *sim.Sharded
+	// drams holds one DRAM controller instance per home tile on a
+	// sharded build (each home's controllers must live on that home's
+	// shard kernel); they share one concurrent mem.Memory. Classic
+	// builds leave it nil and use DRAM. DRAM aliases drams[0] sharded
+	// so Store()/tracer accessors keep working.
+	drams []*dram.DRAM
 }
 
 // New builds a hierarchy. registry and runner may be nil (no Morphs).
@@ -402,44 +457,53 @@ func New(k *sim.Kernel, cfg Config, meter *energy.Meter, registry Registry, runn
 	homeProbes := h.Metrics.Histogram("mshr.home.probe.len")
 	bankShift := log2(cfg.Tiles)
 	for i := 0; i < cfg.Tiles; i++ {
-		t := &tile{
-			id: i,
-			l1: cache.New(cache.Config{
-				Name: fmt.Sprintf("l1.%d", i), SizeBytes: cfg.L1Size, Ways: cfg.L1Ways,
-				Policy: newPolicy(),
-			}),
-			el1: cache.New(cache.Config{
-				Name: fmt.Sprintf("el1.%d", i), SizeBytes: cfg.EngineL1Size, Ways: cfg.EngineL1Ways,
-				Policy: newPolicy(),
-			}),
-			l2: cache.New(cache.Config{
-				Name: fmt.Sprintf("l2.%d", i), SizeBytes: cfg.L2Size, Ways: cfg.L2Ways,
-				Policy: newPolicy(),
-			}),
-			l3: cache.New(cache.Config{
-				Name: fmt.Sprintf("l3.%d", i), SizeBytes: cfg.L3BankSize, Ways: cfg.L3Ways,
-				IndexShift: bankShift, Policy: newPolicy(),
-			}),
-			mshr:        sim.NewSemaphore(k, cfg.MSHRsPerTile),
-			wbbuf:       sim.NewSemaphore(k, cfg.WBBufPerTile),
-			rmo:         sim.NewSemaphore(k, max(cfg.RMOLimit, 1)),
-			rmoInflight: sim.NewWaitGroup(k),
-			rtlb:        tlb.New(cfg.RTLB),
-			// 2 MB pages: täkō's phantom ranges make huge pages
-			// easy (§6), and the workloads assume them throughout.
-			dtlb: tlb.New(tlb.Config{
-				Name: fmt.Sprintf("dtlb.%d", i), Entries: 64, PageBits: 21,
-				HitLatency: 0, WalkLatency: 30,
-			}),
-		}
-		t.pending.init(k, fmt.Sprintf("pending@%d", i))
-		t.l3pending.init(k, fmt.Sprintf("home@%d", i))
-		t.l3Busy = func(tag mem.Addr) bool { return t.l3pending.locked(tag) }
-		t.pending.tbl.SetProbeStats(mshrProbes)
-		t.l3pending.tbl.SetProbeStats(homeProbes)
-		h.tiles = append(h.tiles, t)
+		h.tiles = append(h.tiles, h.buildTile(k, i, newPolicy, mshrProbes, homeProbes, bankShift))
 	}
 	return h
+}
+
+// buildTile constructs one tile with all of its kernel-bound resources
+// (semaphores, lock tables, wait groups) on k: the hierarchy-wide kernel
+// on a classic build, the tile's own shard kernel on a sharded one.
+func (h *Hierarchy) buildTile(k *sim.Kernel, i int, newPolicy func() cache.Policy, mshrProbes, homeProbes *stats.Histogram, bankShift uint) *tile {
+	cfg := h.cfg
+	t := &tile{
+		id: i,
+		K:  k,
+		l1: cache.New(cache.Config{
+			Name: fmt.Sprintf("l1.%d", i), SizeBytes: cfg.L1Size, Ways: cfg.L1Ways,
+			Policy: newPolicy(),
+		}),
+		el1: cache.New(cache.Config{
+			Name: fmt.Sprintf("el1.%d", i), SizeBytes: cfg.EngineL1Size, Ways: cfg.EngineL1Ways,
+			Policy: newPolicy(),
+		}),
+		l2: cache.New(cache.Config{
+			Name: fmt.Sprintf("l2.%d", i), SizeBytes: cfg.L2Size, Ways: cfg.L2Ways,
+			Policy: newPolicy(),
+		}),
+		l3: cache.New(cache.Config{
+			Name: fmt.Sprintf("l3.%d", i), SizeBytes: cfg.L3BankSize, Ways: cfg.L3Ways,
+			IndexShift: bankShift, Policy: newPolicy(),
+		}),
+		mshr:        sim.NewSemaphore(k, cfg.MSHRsPerTile),
+		wbbuf:       sim.NewSemaphore(k, cfg.WBBufPerTile),
+		rmo:         sim.NewSemaphore(k, max(cfg.RMOLimit, 1)),
+		rmoInflight: sim.NewWaitGroup(k),
+		rtlb:        tlb.New(cfg.RTLB),
+		// 2 MB pages: täkō's phantom ranges make huge pages
+		// easy (§6), and the workloads assume them throughout.
+		dtlb: tlb.New(tlb.Config{
+			Name: fmt.Sprintf("dtlb.%d", i), Entries: 64, PageBits: 21,
+			HitLatency: 0, WalkLatency: 30,
+		}),
+	}
+	t.pending.init(k, fmt.Sprintf("pending@%d", i))
+	t.l3pending.init(k, fmt.Sprintf("home@%d", i))
+	t.l3Busy = func(tag mem.Addr) bool { return t.l3pending.locked(tag) }
+	t.pending.tbl.SetProbeStats(mshrProbes)
+	t.l3pending.tbl.SetProbeStats(homeProbes)
+	return t
 }
 
 func max(a, b int) int {
@@ -458,6 +522,84 @@ func (h *Hierarchy) Tiles() int { return h.cfg.Tiles }
 // HomeTile returns the L3 bank (tile) owning address a's line.
 func (h *Hierarchy) HomeTile(a mem.Addr) int {
 	return int((uint64(a) >> mem.LineShift) % uint64(h.cfg.Tiles))
+}
+
+// dirT resolves the directory bank tracking la: the single table
+// classically, la's home-tile bank on a sharded build.
+func (h *Hierarchy) dirT(la mem.Addr) *dirTable {
+	if h.dirs != nil {
+		return &h.dirs[h.HomeTile(la)]
+	}
+	return &h.dir
+}
+
+// dirTables returns every directory bank, for whole-directory walks
+// (invariant checking, reports).
+func (h *Hierarchy) dirTables() []*dirTable {
+	if h.dirs == nil {
+		return []*dirTable{&h.dir}
+	}
+	out := make([]*dirTable, len(h.dirs))
+	for i := range h.dirs {
+		out[i] = &h.dirs[i]
+	}
+	return out
+}
+
+// eachDirEntry visits every directory entry across all banks in bank
+// order; fn returning false stops the walk.
+func (h *Hierarchy) eachDirEntry(fn func(la mem.Addr, e *dirEntry) bool) {
+	stopped := false
+	for _, d := range h.dirTables() {
+		d.forEach(func(la mem.Addr, e *dirEntry) bool {
+			if !fn(la, e) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// dramAt returns the DRAM controller set serving home tile hm: the
+// shared instance classically, the home's own shard-local instance on a
+// sharded build. All instances share one backing mem.Memory.
+func (h *Hierarchy) dramAt(hm int) *dram.DRAM {
+	if h.drams != nil {
+		return h.drams[hm]
+	}
+	return h.DRAM
+}
+
+// DRAMAccesses returns total DRAM accesses (reads + writes) across all
+// controller instances; reports use it instead of DRAM.Accesses so the
+// count is complete on sharded builds too.
+func (h *Hierarchy) DRAMAccesses() uint64 {
+	if h.drams == nil {
+		return h.DRAM.Accesses()
+	}
+	var total uint64
+	for _, d := range h.drams {
+		total += d.Accesses()
+	}
+	return total
+}
+
+// hasExclusiveT is the tile-local form of hasExclusive: classically it
+// peeks at the shared directory; sharded, a remote tile cannot, so it
+// consults the tile's owned table (maintained by write grants and
+// invalidation handlers). The classic nil-entry→true case (untracked
+// private phantom lines) cannot arise without morphs, which sharded
+// builds reject.
+func (h *Hierarchy) hasExclusiveT(t *tile, la mem.Addr) bool {
+	if h.sharded {
+		_, ok := t.owned.Get(uint64(la))
+		return ok
+	}
+	return h.hasExclusive(t.id, la)
 }
 
 // L1Stats, L2Stats, L3Stats expose per-tile cache stats for reports.
@@ -488,11 +630,19 @@ func (h *Hierarchy) CheckMorphInvariants() error {
 // AttachTracer wires a structured event tracer into the hierarchy (and
 // its DRAM, whose controllers emit transfer spans); nil disables tracing.
 func (h *Hierarchy) AttachTracer(t *trace.Tracer) {
+	if h.sharded && t != nil {
+		// The tracer records from every commit path with a single
+		// unsynchronized buffer, and its spans read h.K.
+		panic("hier: tracing is not supported on a sharded hierarchy")
+	}
 	h.tracer = t
 	h.DRAM.AttachTracer(t)
 }
 
 // Trace emits a trace event (no-op without an attached tracer).
 func (h *Hierarchy) Trace(component, kind, detail string) {
+	if h.tracer == nil {
+		return
+	}
 	h.tracer.Emit(h.K.Now(), component, kind, detail)
 }

@@ -140,6 +140,20 @@ func (h *Hierarchy) morphEvictPrivate(tileID int, ev cache.LineState, b Binding,
 // energy are charged asynchronously.
 func (h *Hierarchy) writebackToShared(tileID int, la mem.Addr, data mem.Line) {
 	home := h.HomeTile(la)
+	t := h.tiles[tileID]
+	if h.sharded {
+		// The dirty data travels to the home shard as a Put message; the
+		// home applies it to its L3 bank (or DRAM) and updates the
+		// directory when it arrives. Timing (one transfer + writeback
+		// buffer occupancy) is still charged by the tile-side wb-timing
+		// proc, exactly like the classic path.
+		h.sendPutDirty(t, la, &data)
+		h.event("l2.writeback")
+		h.hot.l2Writebacks.Inc()
+		h.Meter.Add(energy.L3Access, 1)
+		t.K.GoArgs("wb-timing", h.wbTimingFn, uint64(tileID), uint64(home))
+		return
+	}
 	hm := h.tiles[home]
 	if ls3 := hm.l3.Lookup(la); ls3 != nil {
 		ls3.Data = data
@@ -150,20 +164,22 @@ func (h *Hierarchy) writebackToShared(tileID int, la mem.Addr, data mem.Line) {
 	} else {
 		h.DRAM.WriteLineNoWait(la, &data)
 	}
-	if e := h.dir.get(la); e != nil && e.owner == tileID {
+	if e := h.dirT(la).get(la); e != nil && e.owner == tileID {
 		e.owner = -1
 	}
 	h.removeSharerIfNoCopies(tileID, la)
 	h.event("l2.writeback")
 	h.hot.l2Writebacks.Inc()
 	h.Meter.Add(energy.L3Access, 1)
-	h.K.GoArgs("wb-timing", h.wbTimingFn, uint64(tileID), uint64(home))
+	t.K.GoArgs("wb-timing", h.wbTimingFn, uint64(tileID), uint64(home))
 }
 
 // insertL3 installs a line into its home bank (tile homeID), handling
 // the victim: back-invalidation of private copies, Morph callbacks at
-// the home engine, and DRAM writeback. Non-blocking like insertL2.
-func (h *Hierarchy) insertL3(homeID int, a mem.Addr, data *mem.Line, meta fillMeta) bool {
+// the home engine, and DRAM writeback. Non-blocking classically; on a
+// sharded build the victim's back-invalidations are real message round
+// trips, so p (the home-side transaction proc) parks while they drain.
+func (h *Hierarchy) insertL3(p *sim.Proc, homeID int, a mem.Addr, data *mem.Line, meta fillMeta) bool {
 	hm := h.tiles[homeID]
 	opts := meta.opts()
 	constraint := cache.VictimConstraint{
@@ -185,7 +201,7 @@ func (h *Hierarchy) insertL3(homeID int, a mem.Addr, data *mem.Line, meta fillMe
 	h.debugLogHome(a.Line(), "insertL3", data.U64(16))
 	if evicted.Valid {
 		h.debugLogHome(evicted.Tag, "l3-evict", evicted.Data.U64(16))
-		h.handleL3Eviction(homeID, evicted, nil)
+		h.handleL3Eviction(p, homeID, evicted, nil)
 	}
 	h.event("l3.insert")
 	return true
@@ -194,9 +210,16 @@ func (h *Hierarchy) insertL3(homeID int, a mem.Addr, data *mem.Line, meta fillMe
 // handleL3Eviction processes a line leaving the shared cache:
 // back-invalidate all private copies (inclusive hierarchy), run the
 // SHARED Morph callback if registered, write dirty data to memory.
-func (h *Hierarchy) handleL3Eviction(homeID int, ev cache.LineState, futs *[]*sim.Future) {
+func (h *Hierarchy) handleL3Eviction(p *sim.Proc, homeID int, ev cache.LineState, futs *[]*sim.Future) {
 	la := ev.Tag
-	if e := h.dir.get(la); e != nil {
+	if h.sharded {
+		// backInvalSharded owns the whole eviction: it writes dirty data
+		// to DRAM (early, before recalls, so a racing fetch of the victim
+		// cannot read stale memory) and counts the writeback itself.
+		h.backInvalSharded(p, homeID, &ev)
+		return
+	}
+	if e := h.dirT(la).get(la); e != nil {
 		for s := 0; s < h.cfg.Tiles; s++ {
 			if !e.has(s) {
 				continue
@@ -216,7 +239,7 @@ func (h *Hierarchy) handleL3Eviction(homeID int, ev cache.LineState, futs *[]*si
 				h.Mesh.Transfer(s, homeID, bytes)
 			}
 		}
-		h.dir.delete(la)
+		h.dirT(la).delete(la)
 	}
 	if ev.Morph && h.registry != nil {
 		if b, ok := h.registry.Binding(la); ok {

@@ -77,5 +77,5 @@ func (h *Hierarchy) issuePrefetch(tileID int, la mem.Addr) {
 	}
 	t.prefetchInflight++
 	h.hot.prefetchIssued.Inc()
-	h.K.GoArgs("prefetch", h.prefetchFn, uint64(tileID), uint64(la))
+	t.K.GoArgs("prefetch", h.prefetchFn, uint64(tileID), uint64(la))
 }

@@ -83,6 +83,7 @@ func RunCC(v CCVariant, prm CCParams) (Result, error) {
 	cfg := system.Scaled(prm.Tiles, prm.CacheScale)
 	if v == CCBaseline {
 		cfg.NoTako = true
+		cfg.ShardUnsafe = true // threads synchronize through sim.Barriers on s.K
 	}
 	s := system.New(cfg)
 

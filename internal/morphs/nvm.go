@@ -82,6 +82,7 @@ func runNVM(v NVMVariant, prm NVMParams) (Result, error) {
 	cfg.Engine = prm.Engine
 	if v == NVMBaseline {
 		cfg.NoTako = true
+		cfg.ShardUnsafe = true // the crash harness needs the global clock (RunUntil)
 	}
 	if v == NVMIdeal {
 		cfg.Engine = engine.IdealConfig()

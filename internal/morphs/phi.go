@@ -115,6 +115,7 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 	cfg.Engine = prm.Engine
 	if v == PHIBaseline || v == PHIUB {
 		cfg.NoTako = true
+		cfg.ShardUnsafe = true // threads synchronize through sim.Barriers on s.K
 	}
 	if v == PHIIdeal {
 		cfg.Engine = engine.IdealConfig()

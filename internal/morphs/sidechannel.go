@@ -62,6 +62,7 @@ func RunSideChannel(v SideChannelVariant, prm SideChannelParams) (SideChannelRes
 	cfg := system.Default(prm.Tiles)
 	if v == SCBaseline {
 		cfg.NoTako = true
+		cfg.ShardUnsafe = true // detection timestamps read the global clock (s.K.Now)
 	}
 	s := system.New(cfg)
 	hcfg := s.H.Config()

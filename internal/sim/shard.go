@@ -144,6 +144,13 @@ type Sharded struct {
 	// drain; the canonical sort must erase any such reordering, which
 	// FuzzEpochSchedule pins.
 	permute func(senders int) []int
+
+	// barrierHook, when set, runs on the coordinator after every epoch
+	// barrier, while no shard worker is executing. Model-level checkers
+	// (hier.CheckInvariants) use it to inspect cross-shard state at the
+	// only points where that state is quiescent and the inspection cannot
+	// perturb the schedule.
+	barrierHook func()
 }
 
 // NewSharded builds a sharded kernel with n shards and the given
@@ -178,6 +185,12 @@ func (s *Sharded) Shard(i int) *Shard { return s.shards[s.shardIndex(i)] }
 
 // Stats returns coordinator counters.
 func (s *Sharded) Stats() ShardedStats { return s.stats }
+
+// SetBarrierHook installs fn to run after every epoch barrier, on the
+// coordinator goroutine, with every shard parked. Because it runs at a
+// point that is totally ordered with all shard execution, anything fn
+// observes is identical at any worker count.
+func (s *Sharded) SetBarrierHook(fn func()) { s.barrierHook = fn }
 
 func (s *Sharded) shardIndex(i int) int {
 	if i < 0 || i >= len(s.shards) {
@@ -312,6 +325,9 @@ func (s *Sharded) RunSequenced() {
 		}
 		s.stats.Epochs++
 		s.checkFailures()
+		if s.barrierHook != nil {
+			s.barrierHook()
+		}
 	}
 }
 
@@ -364,6 +380,9 @@ func (s *Sharded) Run(workers int) {
 		}
 		s.stats.Epochs++
 		s.checkFailures()
+		if s.barrierHook != nil {
+			s.barrierHook()
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -71,7 +72,11 @@ func benchShardedRun(b *testing.B, workers, work int) uint64 {
 // amortizes). The w1/w8 ratio is the single-run speedup headline; CI
 // records the sweep in the bench artifact next to the sequential kernel
 // benches. Speedup scales with real cores — on a single-core host every
-// width degenerates to sequential plus barrier overhead.
+// width degenerates to sequential plus barrier overhead — so every
+// sub-benchmark records the host's core count and GOMAXPROCS alongside
+// its throughput: trajectory tooling (cmd/benchtraj) annotates sweeps
+// from effectively single-core runners instead of averaging them into
+// speedup trends.
 func BenchmarkShardedThroughput(b *testing.B) {
 	for _, work := range []int{0, 64, 512} {
 		for _, workers := range []int{1, 2, 4, 8, 16} {
@@ -79,6 +84,8 @@ func BenchmarkShardedThroughput(b *testing.B) {
 				b.ReportAllocs()
 				total := benchShardedRun(b, workers, work)
 				b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "events/s")
+				b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 			})
 		}
 	}

@@ -8,6 +8,8 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Registry is the typed metrics registry shared by the modeled
@@ -22,9 +24,15 @@ import (
 // measurements.
 //
 // The simulation kernel is single-threaded (one Proc runs at a time), so
-// the registry does no locking; a Registry must not be shared between
-// concurrently running kernels.
+// the registry does no locking by default; a Registry must not be shared
+// between concurrently running kernels unless SetConcurrent was called.
+// Concurrent mode switches every handle to commutative atomic updates
+// (adds, CAS min/max), whose final values are independent of update
+// interleaving — sharded runs stay byte-deterministic at any worker
+// count. Handle resolution is always mutex-guarded (it is a cold path).
 type Registry struct {
+	mu       sync.Mutex
+	conc     bool
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -91,6 +99,29 @@ func labelLess(ls []Label) func(i, j int) bool {
 	}
 }
 
+// SetConcurrent switches the registry and every handle it has resolved
+// (or will resolve) to atomic updates, making them safe to share across
+// sharded-kernel worker goroutines. All updates are commutative — adds,
+// CAS min/max — so the registry's final state is identical regardless of
+// worker count or interleaving. Call before the simulation runs.
+func (r *Registry) SetConcurrent() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.conc = true
+	for _, c := range r.counters {
+		c.conc = true
+	}
+	for _, g := range r.gauges {
+		g.conc = true
+	}
+	for _, h := range r.hists {
+		h.markConc()
+	}
+}
+
 // Counter returns the handle for the named counter, creating it if
 // needed. A nil registry returns a nil handle, which drops increments.
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
@@ -98,9 +129,11 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 		return nil
 	}
 	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c, ok := r.counters[k]
 	if !ok {
-		c = &Counter{}
+		c = &Counter{conc: r.conc}
 		r.counters[k] = c
 		r.order = append(r.order, k)
 	}
@@ -113,9 +146,11 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 		return nil
 	}
 	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g, ok := r.gauges[k]
 	if !ok {
-		g = &Gauge{}
+		g = &Gauge{conc: r.conc}
 		r.gauges[k] = g
 	}
 	return g
@@ -128,9 +163,14 @@ func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 		return nil
 	}
 	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h, ok := r.hists[k]
 	if !ok {
 		h = &Histogram{}
+		if r.conc {
+			h.markConc()
+		}
 		r.hists[k] = h
 	}
 	return h
@@ -147,7 +187,10 @@ func (r *Registry) Get(name string) uint64 {
 	if r == nil {
 		return 0
 	}
-	if c, ok := r.counters[name]; ok {
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	r.mu.Unlock()
+	if ok {
 		return c.Value()
 	}
 	return 0
@@ -174,21 +217,32 @@ func (r *Registry) String() string {
 // Counter is a monotonically increasing event count. The nil handle is
 // valid and drops all updates.
 type Counter struct {
-	v uint64
+	v    uint64
+	conc bool
 }
 
 // Inc adds 1.
 func (c *Counter) Inc() {
-	if c != nil {
-		c.v++
+	if c == nil {
+		return
 	}
+	if c.conc {
+		atomic.AddUint64(&c.v, 1)
+		return
+	}
+	c.v++
 }
 
 // Add adds n.
 func (c *Counter) Add(n uint64) {
-	if c != nil {
-		c.v += n
+	if c == nil {
+		return
 	}
+	if c.conc {
+		atomic.AddUint64(&c.v, n)
+		return
+	}
+	c.v += n
 }
 
 // Value returns the current count (0 for a nil handle).
@@ -196,16 +250,58 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
+	if c.conc {
+		return atomic.LoadUint64(&c.v)
+	}
 	return c.v
+}
+
+// atomicMaxInt64 raises *p to at least v.
+func atomicMaxInt64(p *int64, v int64) {
+	for {
+		old := atomic.LoadInt64(p)
+		if v <= old || atomic.CompareAndSwapInt64(p, old, v) {
+			return
+		}
+	}
+}
+
+// atomicMinUint64 lowers *p to at most v.
+func atomicMinUint64(p *uint64, v uint64) {
+	for {
+		old := atomic.LoadUint64(p)
+		if v >= old || atomic.CompareAndSwapUint64(p, old, v) {
+			return
+		}
+	}
+}
+
+// atomicMaxUint64 raises *p to at least v.
+func atomicMaxUint64(p *uint64, v uint64) {
+	for {
+		old := atomic.LoadUint64(p)
+		if v <= old || atomic.CompareAndSwapUint64(p, old, v) {
+			return
+		}
+	}
 }
 
 // Gauge records a sampled instantaneous value (queue depth, occupancy).
 // It keeps the last sample plus max and mean over all samples. The nil
 // handle is valid and drops all updates.
+//
+// The sum is kept as an exact integer so sequential and concurrent
+// accumulation agree bit-for-bit. In concurrent mode, max/count/sum are
+// commutative (CAS/adds) and therefore interleaving-independent; `last`
+// is only deterministic when the gauge has a single writer shard (every
+// gauge in the sharded hierarchy is per-instance-labeled for exactly
+// this reason), and conc max is clamped at ≥ 0 (no modeled gauge samples
+// negative values).
 type Gauge struct {
 	last, max int64
 	n         uint64
-	sum       float64
+	sum       int64
+	conc      bool
 }
 
 // Set records one sample.
@@ -213,18 +309,28 @@ func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
 	}
+	if g.conc {
+		atomic.StoreInt64(&g.last, v)
+		atomicMaxInt64(&g.max, v)
+		atomic.AddUint64(&g.n, 1)
+		atomic.AddInt64(&g.sum, v)
+		return
+	}
 	g.last = v
 	if g.n == 0 || v > g.max {
 		g.max = v
 	}
 	g.n++
-	g.sum += float64(v)
+	g.sum += v
 }
 
 // Value returns the last sample.
 func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
+	}
+	if g.conc {
+		return atomic.LoadInt64(&g.last)
 	}
 	return g.last
 }
@@ -234,6 +340,9 @@ func (g *Gauge) Max() int64 {
 	if g == nil {
 		return 0
 	}
+	if g.conc {
+		return atomic.LoadInt64(&g.max)
+	}
 	return g.max
 }
 
@@ -242,15 +351,21 @@ func (g *Gauge) Samples() uint64 {
 	if g == nil {
 		return 0
 	}
+	if g.conc {
+		return atomic.LoadUint64(&g.n)
+	}
 	return g.n
 }
 
 // Mean returns the mean over all samples (0 when empty).
 func (g *Gauge) Mean() float64 {
-	if g == nil || g.n == 0 {
+	if g == nil || g.Samples() == 0 {
 		return 0
 	}
-	return g.sum / float64(g.n)
+	if g.conc {
+		return float64(atomic.LoadInt64(&g.sum)) / float64(atomic.LoadUint64(&g.n))
+	}
+	return float64(g.sum) / float64(g.n)
 }
 
 // histBuckets is the bucket count: bucket i holds values whose bit length
@@ -261,16 +376,40 @@ const histBuckets = 65
 // (latencies in cycles, queue depths). Observe is O(1) with no
 // allocation; quantiles interpolate within the matching power-of-two
 // bucket. The nil handle is valid and drops all updates.
+//
+// The sum is an exact integer (samples are integers), so sequential and
+// concurrent accumulation agree bit-for-bit; in concurrent mode every
+// update is commutative (atomic adds, CAS min/max), making the final
+// state independent of worker interleaving.
 type Histogram struct {
 	n        uint64
-	sum      float64
+	sum      uint64
 	min, max uint64
 	buckets  [histBuckets]uint64
+	conc     bool
+}
+
+// markConc switches the histogram to atomic updates. The min field uses
+// MaxUint64 as the "no samples yet" sentinel so CAS-min works without a
+// racy first-sample branch; accessors guard on Count()==0.
+func (h *Histogram) markConc() {
+	h.conc = true
+	if h.n == 0 {
+		h.min = math.MaxUint64
+	}
 }
 
 // Observe adds one sample.
 func (h *Histogram) Observe(v uint64) {
 	if h == nil {
+		return
+	}
+	if h.conc {
+		atomicMinUint64(&h.min, v)
+		atomicMaxUint64(&h.max, v)
+		atomic.AddUint64(&h.n, 1)
+		atomic.AddUint64(&h.sum, v)
+		atomic.AddUint64(&h.buckets[bits.Len64(v)], 1)
 		return
 	}
 	if h.n == 0 || v < h.min {
@@ -280,7 +419,7 @@ func (h *Histogram) Observe(v uint64) {
 		h.max = v
 	}
 	h.n++
-	h.sum += float64(v)
+	h.sum += v
 	h.buckets[bits.Len64(v)]++
 }
 
@@ -288,6 +427,9 @@ func (h *Histogram) Observe(v uint64) {
 func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
+	}
+	if h.conc {
+		return atomic.LoadUint64(&h.n)
 	}
 	return h.n
 }
@@ -297,21 +439,28 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum
+	if h.conc {
+		return float64(atomic.LoadUint64(&h.sum))
+	}
+	return float64(h.sum)
 }
 
 // Mean returns the sample mean (0 when empty).
 func (h *Histogram) Mean() float64 {
-	if h == nil || h.n == 0 {
+	n := h.Count()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.n)
+	return h.Sum() / float64(n)
 }
 
 // Min returns the smallest sample (0 when empty).
 func (h *Histogram) Min() uint64 {
-	if h == nil {
+	if h.Count() == 0 {
 		return 0
+	}
+	if h.conc {
+		return atomic.LoadUint64(&h.min)
 	}
 	return h.min
 }
@@ -320,6 +469,9 @@ func (h *Histogram) Min() uint64 {
 func (h *Histogram) Max() uint64 {
 	if h == nil {
 		return 0
+	}
+	if h.conc {
+		return atomic.LoadUint64(&h.max)
 	}
 	return h.max
 }

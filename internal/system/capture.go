@@ -176,6 +176,12 @@ func (s *System) attachCapture() {
 	active.nextPid++
 	s.captured = true
 	if active.cfg.Sink != nil {
+		if s.Sh != nil {
+			// Sharded hierarchies reject tracers (commit points fire on
+			// every shard concurrently); the capture stays metrics-only.
+			// The CLIs refuse -trace with -sharded up front.
+			return
+		}
 		capacity := active.cfg.TraceCapacity
 		if capacity == 0 {
 			capacity = 4096
@@ -209,9 +215,9 @@ func LabelRun(s *System, label string, ops uint64) *RunRecord {
 	}
 	return &RunRecord{
 		Label:        label,
-		Cycles:       s.K.Now(),
+		Cycles:       s.Cycles(),
 		Ops:          ops,
-		KernelEvents: s.K.Events(),
+		KernelEvents: s.KernelEvents(),
 		Metrics:      s.H.Metrics.Snapshot(),
 		TxnEdges:     s.H.TxnCoverage(),
 		Slowest:      s.H.SlowestAccesses(),

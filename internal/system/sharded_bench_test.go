@@ -1,0 +1,76 @@
+package system
+
+import (
+	"runtime"
+	"testing"
+
+	"tako/internal/cpu"
+	"tako/internal/mem"
+	"tako/internal/sim"
+)
+
+// benchMachineWorkload runs the shared-counter coherence workload (the
+// same shape the determinism battery pins) once on the given config:
+// every tile stores a stripe, joins an atomic counter barrier, then
+// reads back every stripe cross-tile.
+func benchMachineWorkload(cfg Config, words int) sim.Cycle {
+	tiles := cfg.Tiles
+	s := New(cfg)
+	data := s.Alloc("data", uint64(tiles*words*8+4096))
+	ctr := data.Base + mem.Addr(tiles*words*8+512)
+	for i := 0; i < tiles; i++ {
+		i := i
+		s.Go(i, "worker", func(p *sim.Proc, c *cpu.Core) {
+			for j := 0; j < words; j++ {
+				c.Store(p, data.Base+mem.Addr((i*words+j)*8), uint64(i*1000+j))
+			}
+			c.AtomicAddSync(p, ctr, 1)
+			for c.Load(p, ctr) != uint64(tiles) {
+				p.Sleep(50)
+			}
+			var sink uint64
+			for k := 0; k < tiles*words; k++ {
+				sink += c.Load(p, data.Base+mem.Addr(k*8))
+			}
+			_ = sink
+		})
+	}
+	return s.Run()
+}
+
+// BenchmarkShardedVsPartitioned is the single-simulation speedup
+// benchmark: one machine, one workload, hosted on the partitioned
+// classic kernel (the fastest sequential engine) and on the sharded
+// engine at several worker widths. cmd/benchtraj pairs the sub-benchmark
+// names to emit a sharded-vs-partitioned speedup column; the cpus and
+// gomaxprocs metrics let it annotate sweeps from single-core runners,
+// where every worker width degenerates to sequenced execution plus
+// barrier overhead, instead of folding them into speedup trends.
+func BenchmarkShardedVsPartitioned(b *testing.B) {
+	const (
+		tiles = 4
+		words = 256
+	)
+	run := func(b *testing.B, cfg Config) {
+		b.ReportAllocs()
+		var cycles sim.Cycle
+		for i := 0; i < b.N; i++ {
+			cycles = benchMachineWorkload(cfg, words)
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()*float64(b.N), "sim-cycles/s")
+		b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	}
+	b.Run("partitioned", func(b *testing.B) {
+		cfg := Default(tiles)
+		cfg.NoTako = true
+		cfg.TilePar = tiles
+		run(b, cfg)
+	})
+	for _, workers := range []int{1, 2, 4} {
+		cfg := shardedConfig(tiles, workers)
+		b.Run(map[int]string{1: "sharded-w1", 2: "sharded-w2", 4: "sharded-w4"}[workers], func(b *testing.B) {
+			run(b, cfg)
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"tako/internal/engine"
 	"tako/internal/hier"
 	"tako/internal/mem"
+	"tako/internal/noc"
 	"tako/internal/sim"
 	"tako/internal/trace"
 )
@@ -35,6 +36,26 @@ type Config struct {
 	// and exp.TestTileParMatchesSequential pin this. 0 means
 	// DefaultTilePar(); 1 forces the single-queue kernel.
 	TilePar int
+	// Sharded hosts the machine on a sim.Sharded engine — one shard (its
+	// own kernel and clock) per tile, cross-tile interactions carried by
+	// lookahead-respecting messages — for real parallel speedup on a
+	// single simulation. Requires NoTako (the message protocol covers the
+	// baseline hierarchy only). Unlike TilePar, which only re-buckets
+	// events under one global clock, sharded execution changes the timing
+	// model: cross-tile operations pay real message round trips, so cycle
+	// counts differ from the classic engine. Results are still
+	// byte-identical across ShardWorkers values (and to the sequenced
+	// schedule), which is what the determinism battery pins.
+	Sharded bool
+	// ShardWorkers is the worker-goroutine count for a Sharded run.
+	// ≤ 1 runs the deterministic sequenced schedule inline; n ≥ 2 runs n
+	// workers with identical simulated results. Ignored unless Sharded.
+	ShardWorkers int
+	// ShardUnsafe marks a config whose workload depends on classic-kernel
+	// primitives a sharded build cannot host — a global clock (s.K.Now,
+	// RunUntil) or cross-tile sim.Barriers on s.K. SetDefaultSharded
+	// (the -sharded flag) skips such configs instead of crashing them.
+	ShardUnsafe bool
 }
 
 // defaultTilePar is the package-wide default for Config.TilePar when a
@@ -54,6 +75,30 @@ func SetDefaultTilePar(n int) {
 
 // DefaultTilePar returns the current package-wide shard-width default.
 func DefaultTilePar() int { return defaultTilePar }
+
+// defaultSharded, when armed via SetDefaultSharded, hosts every baseline
+// (NoTako) machine whose Config left the kernel organization unspecified
+// (TilePar == 0, Sharded false) on the tile-sharded engine. The -sharded
+// CLI flag sets it once; täkō machines and configs that pick an engine
+// explicitly are unaffected.
+var (
+	defaultSharded      = false
+	defaultShardWorkers = 0
+)
+
+// SetDefaultSharded arms (or disarms) sharded-by-default execution for
+// baseline machines, with the given worker count (≤ 1: the deterministic
+// sequenced schedule; results are byte-identical either way).
+func SetDefaultSharded(on bool, workers int) {
+	defaultSharded = on
+	if workers < 0 {
+		workers = 0
+	}
+	defaultShardWorkers = workers
+}
+
+// DefaultSharded reports the package-wide sharded default.
+func DefaultSharded() (bool, int) { return defaultSharded, defaultShardWorkers }
 
 // Default returns the paper's Table 3 machine with the given tile count.
 func Default(tiles int) Config {
@@ -75,7 +120,8 @@ func Scaled(tiles, factor int) Config {
 
 // System is an assembled machine.
 type System struct {
-	K     *sim.Kernel
+	K     *sim.Kernel  // nil on a sharded build (each shard owns a kernel)
+	Sh    *sim.Sharded // non-nil on a sharded build
 	Meter *energy.Meter
 	Space *mem.Space
 	Tako  *core.Tako
@@ -84,6 +130,7 @@ type System struct {
 	Cores []*cpu.Core
 
 	threads int
+	workers int // Sharded run's worker count (≤ 1: sequenced)
 	shards  int // tile queues on a partitioned kernel (0: unpartitioned)
 
 	// Capture state (capture.go): set when a process-wide observability
@@ -94,6 +141,19 @@ type System struct {
 
 // New builds and wires a System.
 func New(cfg Config) *System {
+	if !cfg.Sharded && defaultSharded && cfg.NoTako && !cfg.ShardUnsafe && cfg.TilePar == 0 {
+		// The -sharded default applies only to baseline machines that
+		// left the kernel organization unspecified; a config that chose
+		// an engine explicitly (TilePar ≥ 1, or Sharded itself) wins.
+		cfg.Sharded = true
+		if cfg.ShardWorkers == 0 {
+			cfg.ShardWorkers = defaultShardWorkers
+		}
+		cfg.Hier.FreshChecks = false
+	}
+	if cfg.Sharded {
+		return newSharded(cfg)
+	}
 	k := sim.NewKernel()
 	meter := energy.NewMeter()
 	space := mem.NewSpace()
@@ -131,12 +191,38 @@ func New(cfg Config) *System {
 	return s
 }
 
+// newSharded assembles a machine hosted on a sim.Sharded engine: one
+// shard per tile, each with its own kernel and clock, synchronized in
+// conservative lookahead-wide epochs. The hierarchy's cross-tile paths
+// (directory actions, home-line locks, snoops, remote DRAM) run as
+// messages between shards; everything tile-private — cores, private
+// caches, MSHRs, the transaction state machine — runs undisturbed on its
+// tile's shard. Baseline (NoTako) machines only.
+func newSharded(cfg Config) *System {
+	if !cfg.NoTako {
+		panic("system: sharded execution supports the baseline machine only (set NoTako)")
+	}
+	meter := energy.NewMeter()
+	space := mem.NewSpace()
+	// The epoch width is the mesh's minimum cross-tile latency: no
+	// message can arrive sooner, so shards may run that far apart.
+	lookahead := noc.NewMesh(cfg.Hier.NoC, nil).MinCrossTileLatency()
+	eng := sim.NewSharded(cfg.Tiles, lookahead)
+	s := &System{Sh: eng, Meter: meter, Space: space, workers: cfg.ShardWorkers}
+	s.H = hier.NewSharded(eng, cfg.Hier, meter, nil, nil)
+	for i := 0; i < cfg.Tiles; i++ {
+		s.Cores = append(s.Cores, cpu.New(s.H, i, cfg.Core, meter))
+	}
+	s.attachCapture()
+	return s
+}
+
 // Ops returns the run's architectural operation count — committed core
 // instructions, engine instructions, and DRAM line transfers. Unlike
 // cycle counts, this is insensitive to pure timing-model changes, which
 // makes it the quantity CI gates on.
 func (s *System) Ops() uint64 {
-	return s.TotalInstrs() + s.EngineInstrs() + s.H.DRAM.Accesses()
+	return s.TotalInstrs() + s.EngineInstrs() + s.H.DRAMAccesses()
 }
 
 // Alloc reserves a real region and returns it.
@@ -145,13 +231,17 @@ func (s *System) Alloc(name string, size uint64) mem.Region {
 }
 
 // Go spawns a software thread on the given tile's core. On a partitioned
-// kernel the thread's wake events live in its tile's queue.
+// kernel the thread's wake events live in its tile's queue; on a sharded
+// build the thread runs on its tile's shard kernel.
 func (s *System) Go(tile int, name string, fn func(p *sim.Proc, c *cpu.Core)) {
 	c := s.Cores[tile]
 	s.threads++
-	s.K.GoOn(s.TileShard(tile), fmt.Sprintf("%s@%d", name, tile), func(p *sim.Proc) {
-		fn(p, c)
-	})
+	run := func(p *sim.Proc) { fn(p, c) }
+	if s.Sh != nil {
+		s.Sh.Shard(tile).K.Go(fmt.Sprintf("%s@%d", name, tile), run)
+		return
+	}
+	s.K.GoOn(s.TileShard(tile), fmt.Sprintf("%s@%d", name, tile), run)
 }
 
 // TileShard returns the kernel queue holding tile's events: 0 (the home
@@ -168,8 +258,24 @@ func (s *System) TileShard(tile int) int {
 func (s *System) Shards() int { return s.shards }
 
 // Run executes until the machine quiesces and returns the cycle count.
-// It panics if any thread is still blocked (a modeling deadlock).
+// It panics if any thread is still blocked (a modeling deadlock). On a
+// sharded build the returned count is the maximum shard clock, and
+// Config.ShardWorkers picks between the sequenced reference schedule
+// (≤ 1) and parallel workers (≥ 2) — simulated results are identical.
 func (s *System) Run() sim.Cycle {
+	if s.Sh != nil {
+		if s.workers > 1 {
+			s.Sh.Run(s.workers)
+		} else {
+			s.Sh.RunSequenced()
+		}
+		if blocked := s.Sh.Blocked(); len(blocked) > 0 {
+			panic(fmt.Sprintf("system: deadlocked processes after run: %v", blocked))
+		}
+		s.H.FinishStats()
+		s.Sh.Release()
+		return s.Cycles()
+	}
 	s.K.Run()
 	if blocked := s.K.Blocked(); len(blocked) > 0 {
 		panic(fmt.Sprintf("system: deadlocked processes after run: %v", blocked))
@@ -179,6 +285,34 @@ func (s *System) Run() sim.Cycle {
 	// from finished kernels would otherwise accumulate.
 	s.K.Release()
 	return s.K.Now()
+}
+
+// Cycles returns the current simulated time: the kernel clock, or the
+// maximum across shard clocks on a sharded build.
+func (s *System) Cycles() sim.Cycle {
+	if s.Sh == nil {
+		return s.K.Now()
+	}
+	var now sim.Cycle
+	for i := 0; i < s.Sh.Shards(); i++ {
+		if n := s.Sh.Shard(i).K.Now(); n > now {
+			now = n
+		}
+	}
+	return now
+}
+
+// KernelEvents returns the total dispatched event count, summed across
+// shard kernels on a sharded build.
+func (s *System) KernelEvents() uint64 {
+	if s.Sh == nil {
+		return s.K.Events()
+	}
+	var n uint64
+	for i := 0; i < s.Sh.Shards(); i++ {
+		n += s.Sh.Shard(i).K.Events()
+	}
+	return n
 }
 
 // Trace attaches (and returns) a structured event tracer recording the
