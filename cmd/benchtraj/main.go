@@ -60,7 +60,47 @@ type reportSummary struct {
 type trajectory struct {
 	Benchmarks []benchEntry   `json:"benchmarks"`
 	Sharded    *shardedSpeed  `json:"sharded,omitempty"`
+	FFWarmup   *ffSpeed       `json:"ff_warmup,omitempty"`
 	Report     *reportSummary `json:"report,omitempty"`
+}
+
+// ffSpeed is the analytical fast-forward speedup column, assembled from
+// the BenchmarkFFWarmup pair: the same warmup-dominated run with the
+// warmup executed analytically versus fully simulated. Repeated samples
+// reduce to the best (minimum) ns/op of each side.
+type ffSpeed struct {
+	AnalyticalNsOp float64 `json:"analytical_ns_op"`
+	SimulatedNsOp  float64 `json:"simulated_ns_op"`
+	// FFSpeedup is simulated ns/op over analytical ns/op (>1: skipping
+	// the event kernel during warmup is that many times faster).
+	FFSpeedup float64 `json:"ff_speedup"`
+}
+
+const ffBenchName = "BenchmarkFFWarmup/"
+
+// buildFFSpeed pairs the fast-forward warmup benchmark's two
+// sub-benchmarks into the ff_speedup column. Returns nil unless both
+// sides are present with nonzero ns/op.
+func buildFFSpeed(entries []benchEntry) *ffSpeed {
+	best := map[string]float64{}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name, ffBenchName) {
+			continue
+		}
+		ns, ok := e.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		v := benchVariant(e.Name)
+		if cur, seen := best[v]; !seen || ns < cur {
+			best[v] = ns
+		}
+	}
+	ana, sim := best["analytical"], best["simulated"]
+	if ana <= 0 || sim <= 0 {
+		return nil
+	}
+	return &ffSpeed{AnalyticalNsOp: ana, SimulatedNsOp: sim, FFSpeedup: sim / ana}
 }
 
 // shardedRow is one engine variant of the sharded-vs-partitioned
@@ -267,6 +307,7 @@ func main() {
 		traj.Benchmarks = append(traj.Benchmarks, entries...)
 	}
 	traj.Sharded = buildShardedSpeed(traj.Benchmarks)
+	traj.FFWarmup = buildFFSpeed(traj.Benchmarks)
 	if *report != "" {
 		sum, err := loadReport(*report)
 		if err != nil {

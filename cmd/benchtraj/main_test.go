@@ -133,6 +133,34 @@ func TestBenchVariant(t *testing.T) {
 	}
 }
 
+const ffLog = `goos: linux
+BenchmarkFFWarmup/analytical-8   10  20000000 ns/op
+BenchmarkFFWarmup/analytical-8   10  18000000 ns/op
+BenchmarkFFWarmup/simulated-8     2 360000000 ns/op
+PASS
+`
+
+func TestBuildFFSpeed(t *testing.T) {
+	sp := buildFFSpeed(parseLog(t, ffLog))
+	if sp == nil {
+		t.Fatal("no ff_warmup summary built")
+	}
+	// Best analytical sample (18ms) against the simulated run (360ms).
+	if sp.AnalyticalNsOp != 18000000 || sp.SimulatedNsOp != 360000000 {
+		t.Fatalf("ns/op pair = %v/%v", sp.AnalyticalNsOp, sp.SimulatedNsOp)
+	}
+	if sp.FFSpeedup < 19.99 || sp.FFSpeedup > 20.01 {
+		t.Errorf("ff_speedup = %v, want 20.0", sp.FFSpeedup)
+	}
+	// One-sided logs produce no column at all.
+	if buildFFSpeed(parseLog(t, "BenchmarkFFWarmup/analytical-8  10  20000000 ns/op\n")) != nil {
+		t.Error("ff_warmup built from the analytical side alone")
+	}
+	if buildFFSpeed(parseLog(t, multiCoreLog)) != nil {
+		t.Error("ff_warmup built with no FFWarmup samples")
+	}
+}
+
 func TestBuildShardedSpeedMultiCore(t *testing.T) {
 	sp := buildShardedSpeed(parseLog(t, multiCoreLog))
 	if sp == nil {

@@ -103,9 +103,12 @@ type benchReport struct {
 
 func main() {
 	var (
-		full    = flag.Bool("full", false, "run at full (slow) scale")
-		jobs    = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
-		tilePar = flag.Int("tile-par", 1, "tile queues to partition each simulation's event kernel into (1 = sequential single-queue kernel; the report is identical at any width)")
+		full      = flag.Bool("full", false, "run at full (slow) scale")
+		ff        = flag.Uint64("ff", 0, "fast-forward the first N core memory accesses of each baseline machine analytically before switching the event kernel on (see takosim -ff)")
+		ffAuto    = flag.Bool("ff-auto", false, "end fast-forward at analytical miss-ratio convergence (bounded by -ff when both are given)")
+		scaleTier = flag.String("scale", "quick", "workload tier for scale-aware experiments (fig25full): quick or full")
+		jobs      = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
+		tilePar   = flag.Int("tile-par", 1, "tile queues to partition each simulation's event kernel into (1 = sequential single-queue kernel; the report is identical at any width)")
 
 		sharded      = flag.Bool("sharded", false, "host baseline (NoTako) machines on the tile-sharded message-passing engine (cycle counts differ from the classic engine; byte-identical at any -shard-workers)")
 		shardWorkers = flag.Int("shard-workers", 0, "worker goroutines per sharded simulation (≤1 = deterministic sequenced schedule)")
@@ -147,6 +150,11 @@ func main() {
 		os.Exit(1)
 	}
 	system.SetDefaultSharded(*sharded, *shardWorkers)
+	system.SetDefaultFastForward(*ff, *ffAuto)
+	if err := exp.SetScale(*scaleTier); err != nil {
+		fmt.Fprintf(os.Stderr, "takoreport: %v\n", err)
+		os.Exit(2)
+	}
 	// The run cache is process-global and never evicts, so -skip only
 	// changes which figure of a pair simulates first — the survivors
 	// still share runs rather than recomputing.

@@ -9,7 +9,21 @@
 //	takosim -exp fig13 -trace out.trace.json -trace-format chrome
 //	takosim -exp fig13 -attr -slowest 10
 //	takosim -exp fig13 -http :6060
+//	takosim -exp fig13 -ff 1000000 [-ff-auto]
+//	takosim -exp fig25full -scale full
 //	takosim -explore [-explore-runs N] [-explore-scenario substr]
+//
+// -ff N warms each baseline (NoTako) machine by running its first N
+// core memory accesses through the analytical fast-forward engine — a
+// reuse-distance collector and per-level hit-probability model, no
+// event kernel — then seeds caches, TLBs, and the directory from the
+// collector's steady-state occupancy and switches the event kernel on.
+// -ff-auto instead ends warmup at analytical miss-ratio convergence
+// (bounded by -ff when both are given). Cycle counts then cover only
+// the simulated window; architectural counters cover only post-warmup
+// traffic. -scale full switches scale-aware experiments (fig25full) to
+// the paper-scale workload tier (uk-2002-class graphs, ≥100M edges,
+// streamed generation).
 //
 // -explore runs the coherence interleaving explorer instead of an
 // experiment: each seeded race scenario executes under systematically
@@ -78,6 +92,9 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 		id      = flag.String("exp", "", "experiment id to run (e.g. fig6, table2)")
 		full    = flag.Bool("full", false, "run at full (slow) scale instead of quick scale")
+		ff      = flag.Uint64("ff", 0, "fast-forward the first N core memory accesses of each baseline machine analytically (reuse-distance warmup, no event kernel), then switch the event kernel on with warm caches/TLBs/directory")
+		ffAuto  = flag.Bool("ff-auto", false, "end fast-forward as soon as the analytical per-level miss ratios converge (bounded by -ff when both are given)")
+		scale   = flag.String("scale", "quick", "workload tier for scale-aware experiments (fig25full): quick or full (uk-2002-class, ≥100M edges)")
 		jobs    = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS; output is identical at any -j)")
 		tilePar = flag.Int("tile-par", 1, "tile queues to partition each simulation's event kernel into (1 = sequential single-queue kernel; output is identical at any width, and the flag composes with -j)")
 
@@ -120,6 +137,11 @@ func main() {
 		os.Exit(1)
 	}
 	system.SetDefaultSharded(*sharded, *shardWorkers)
+	system.SetDefaultFastForward(*ff, *ffAuto)
+	if err := exp.SetScale(*scale); err != nil {
+		fmt.Fprintf(os.Stderr, "takosim: %v\n", err)
+		os.Exit(2)
+	}
 	morphs.SetRunCache(true)
 
 	if *verify {

@@ -1,0 +1,39 @@
+package analytic
+
+// BruteStack is the O(n)-per-access reference implementation of LRU
+// stack distance: a literal recency list searched linearly. It exists
+// only to pin Stack's Fenwick-tree implementation in property tests and
+// is far too slow for real traces.
+type BruteStack struct {
+	order []uint64 // most recent first
+}
+
+// Touch records an access and returns the stack distance (number of
+// distinct keys touched since key's previous access) or cold=true on a
+// first touch.
+func (b *BruteStack) Touch(key uint64) (dist int, cold bool) {
+	for i, k := range b.order {
+		if k == key {
+			copy(b.order[1:i+1], b.order[:i])
+			b.order[0] = key
+			return i, false
+		}
+	}
+	b.order = append(b.order, 0)
+	copy(b.order[1:], b.order)
+	b.order[0] = key
+	return 0, true
+}
+
+// MRU returns up to n keys, most recently touched first.
+func (b *BruteStack) MRU(n int) []uint64 {
+	if n > len(b.order) {
+		n = len(b.order)
+	}
+	out := make([]uint64, n)
+	copy(out, b.order[:n])
+	return out
+}
+
+// Live returns the number of distinct keys seen.
+func (b *BruteStack) Live() int { return len(b.order) }

@@ -1,0 +1,136 @@
+package analytic
+
+// flatTable is a minimal open-addressed uint64 -> int map tuned for the
+// stack-distance hot loop: power-of-two capacity, linear probing, and
+// tombstone-free deletion by full reset at compaction time (the only
+// point keys are ever removed). It mirrors internal/flat but stores int
+// slots inline and supports cheap iteration for compaction.
+type flatTable struct {
+	keys []uint64
+	vals []int
+	used []bool
+	n    int
+}
+
+const flatMinCap = 1 << 11
+
+func (t *flatTable) init(capHint int) {
+	n := flatMinCap
+	for n < capHint*2 {
+		n *= 2
+	}
+	t.keys = make([]uint64, n)
+	t.vals = make([]int, n)
+	t.used = make([]bool, n)
+	t.n = 0
+}
+
+// reset clears the table, reallocating only when the capacity hint needs
+// more room than the current arrays provide.
+func (t *flatTable) reset(capHint int) {
+	if t.keys == nil || len(t.keys) < capHint*2 {
+		t.init(capHint)
+		return
+	}
+	for i := range t.used {
+		t.used[i] = false
+	}
+	t.n = 0
+}
+
+func hashKey(k uint64) uint64 {
+	// splitmix64 finalizer: strong enough for line/page addresses.
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+func (t *flatTable) get(key uint64) (int, bool) {
+	if t.keys == nil {
+		return 0, false
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := hashKey(key) & mask
+	for t.used[i] {
+		if t.keys[i] == key {
+			return t.vals[i], true
+		}
+		i = (i + 1) & mask
+	}
+	return 0, false
+}
+
+// upsert stores key -> val in a single probe chain and returns the
+// previous value, if any — the stack-distance hot loop's get+put pair
+// collapsed into one table walk.
+func (t *flatTable) upsert(key uint64, val int) (old int, existed bool) {
+	if t.keys == nil {
+		t.init(flatMinCap / 2)
+	}
+	if (t.n+1)*4 >= len(t.keys)*3 { // grow at 75% load
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := hashKey(key) & mask
+	for t.used[i] {
+		if t.keys[i] == key {
+			old = t.vals[i]
+			t.vals[i] = val
+			return old, true
+		}
+		i = (i + 1) & mask
+	}
+	t.used[i] = true
+	t.keys[i] = key
+	t.vals[i] = val
+	t.n++
+	return 0, false
+}
+
+func (t *flatTable) put(key uint64, val int) {
+	if t.keys == nil {
+		t.init(flatMinCap / 2)
+	}
+	if (t.n+1)*4 >= len(t.keys)*3 { // grow at 75% load
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := hashKey(key) & mask
+	for t.used[i] {
+		if t.keys[i] == key {
+			t.vals[i] = val
+			return
+		}
+		i = (i + 1) & mask
+	}
+	t.used[i] = true
+	t.keys[i] = key
+	t.vals[i] = val
+	t.n++
+}
+
+func (t *flatTable) grow() {
+	old := *t
+	t.keys = make([]uint64, len(old.keys)*2)
+	t.vals = make([]int, len(old.vals)*2)
+	t.used = make([]bool, len(old.used)*2)
+	t.n = 0
+	for i, u := range old.used {
+		if u {
+			t.put(old.keys[i], old.vals[i])
+		}
+	}
+}
+
+func (t *flatTable) each(fn func(key uint64, val int)) {
+	for i, u := range t.used {
+		if u {
+			fn(t.keys[i], t.vals[i])
+		}
+	}
+}
+
+func (t *flatTable) len() int { return t.n }

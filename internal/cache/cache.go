@@ -323,6 +323,42 @@ func (c *Cache) FillAt(a mem.Addr, way int, data *mem.Line, opts FillOpts) LineS
 	return evicted
 }
 
+// Seed installs a clean line into an invalid way of a's set without
+// touching the hit/miss/fill statistics: warm-state pre-seeding for
+// analytical fast-forward (hier/seed.go). It returns false — and
+// installs nothing — when the line is already present or the set has no
+// invalid way (seeding never evicts). Recency follows the shared fill
+// clock, so callers seed in least-recent-first order; the replacement
+// policy's insertion hook runs so policy metadata stays legal.
+func (c *Cache) Seed(a mem.Addr, data *mem.Line) bool {
+	setIdx := c.SetIndex(a)
+	set := c.set(setIdx)
+	if int(c.valid[setIdx]) >= c.ways {
+		return false
+	}
+	way := -1
+	for w := range set {
+		if set[w].Valid {
+			if set[w].Tag == a.Line() {
+				return false
+			}
+			continue
+		}
+		if way < 0 {
+			way = w
+		}
+	}
+	c.lruClock++
+	set[way] = LineState{Valid: true, Tag: a.Line(), LRU: c.lruClock}
+	if data != nil {
+		set[way].Data = *data
+	}
+	c.valid[setIdx]++
+	c.mru[setIdx] = int16(way)
+	c.cfg.Policy.OnInsert(set, way, false)
+	return true
+}
+
 // CanInsertMorph reports whether inserting a Morph line into a's set,
 // evicting victimWay, preserves the per-set invariant of ≥1 callback-free
 // line (counting invalid lines as callback-free).

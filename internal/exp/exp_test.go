@@ -10,7 +10,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig6", "fig7", "table2", "table3", "fig13", "fig14", "fig16",
 		"fig17", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
-		"fig25", "sweep-cbbuf", "sweep-rtlb", "sharded", "layout",
+		"fig25", "fig25full", "ffcheck", "sweep-cbbuf", "sweep-rtlb",
+		"sharded", "layout",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -9,8 +9,9 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden snapshots")
 
-// TestGoldenCaseStudies pins the rendered stats of the five case-study
-// drivers (quick configurations) to golden snapshots. The simulator is
+// TestGoldenCaseStudies pins the rendered stats of the case-study
+// drivers (quick configurations; fig25full's row is a warmup-on run, so
+// fast-forward gets its own golden). The simulator is
 // deterministic, so any diff is a behavior change: either a regression,
 // or an intentional change to be re-recorded with
 //
@@ -19,7 +20,7 @@ func TestGoldenCaseStudies(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	for _, id := range []string{"fig6", "fig13", "fig16", "fig19", "fig21"} {
+	for _, id := range []string{"fig6", "fig13", "fig16", "fig19", "fig21", "fig25full"} {
 		t.Run(id, func(t *testing.T) {
 			e, ok := ByID(id)
 			if !ok {

@@ -21,6 +21,9 @@ type accessOpts struct {
 // Load performs a demand load of the 8-byte word containing a from
 // tileID's core, returning its value. Must be called from a sim.Proc.
 func (h *Hierarchy) Load(p *sim.Proc, tileID int, a mem.Addr) uint64 {
+	if h.ffGate(p) {
+		return h.ffLoad(p, tileID, a)
+	}
 	start := p.Now()
 	ls := h.access(p, tileID, a, accessOpts{})
 	v := ls.Data.U64(a.Offset() &^ 7)
@@ -44,6 +47,10 @@ func (h *Hierarchy) Load(p *sim.Proc, tileID int, a mem.Addr) uint64 {
 
 // Store writes the 8-byte word containing a from tileID's core.
 func (h *Hierarchy) Store(p *sim.Proc, tileID int, a mem.Addr, v uint64) {
+	if h.ffGate(p) {
+		h.ffStore(p, tileID, a, v)
+		return
+	}
 	ls := h.access(p, tileID, a, accessOpts{write: true})
 	ls.Data.SetU64(a.Offset()&^7, v)
 	ls.Dirty = true
@@ -55,6 +62,9 @@ func (h *Hierarchy) Store(p *sim.Proc, tileID int, a mem.Addr, v uint64) {
 
 // LoadLine reads the full line containing a (a vector load).
 func (h *Hierarchy) LoadLine(p *sim.Proc, tileID int, a mem.Addr) mem.Line {
+	if h.ffGate(p) {
+		return h.ffLoadLine(p, tileID, a)
+	}
 	ls := h.access(p, tileID, a, accessOpts{})
 	if h.obs != nil {
 		h.obs.LineLoaded(tileID, a, &ls.Data)
@@ -64,6 +74,10 @@ func (h *Hierarchy) LoadLine(p *sim.Proc, tileID int, a mem.Addr) mem.Line {
 
 // StoreLine writes the full line containing a (a vector store).
 func (h *Hierarchy) StoreLine(p *sim.Proc, tileID int, a mem.Addr, line *mem.Line) {
+	if h.ffGate(p) {
+		h.ffStoreLine(p, tileID, a, line, false)
+		return
+	}
 	ls := h.access(p, tileID, a, accessOpts{write: true})
 	ls.Data = *line
 	ls.Dirty = true
@@ -83,6 +97,10 @@ func (h *Hierarchy) StoreLine(p *sim.Proc, tileID int, a mem.Addr, line *mem.Lin
 // fresh sharers, and invalidating before it completes would let those
 // copies survive the supersede and go stale.
 func (h *Hierarchy) StoreLineNT(p *sim.Proc, tileID int, a mem.Addr, line *mem.Line) {
+	if h.ffGate(p) {
+		h.ffStoreLine(p, tileID, a, line, true)
+		return
+	}
 	if h.sharded {
 		h.ntStoreSharded(p, tileID, a, line)
 		return
@@ -103,6 +121,10 @@ func (h *Hierarchy) StoreLineNT(p *sim.Proc, tileID int, a mem.Addr, line *mem.L
 // Baselines without remote memory operations update shared data this
 // way, paying coherence ping-pong under contention.
 func (h *Hierarchy) AtomicAddLocal(p *sim.Proc, tileID int, a mem.Addr, delta uint64) {
+	if h.ffGate(p) {
+		h.ffAtomicRMO(p, tileID, a, RMOAdd, delta)
+		return
+	}
 	ls := h.access(p, tileID, a, accessOpts{write: true})
 	off := a.Offset() &^ 7
 	old := ls.Data.U64(off)
@@ -117,6 +139,10 @@ func (h *Hierarchy) AtomicAddLocal(p *sim.Proc, tileID int, a mem.Addr, delta ui
 // AtomicRMOLocal performs a commutative read-modify-write with operator
 // op in the local cache (ordinary atomic semantics: the line migrates).
 func (h *Hierarchy) AtomicRMOLocal(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, v uint64) {
+	if h.ffGate(p) {
+		h.ffAtomicRMO(p, tileID, a, op, v)
+		return
+	}
 	ls := h.access(p, tileID, a, accessOpts{write: true})
 	off := a.Offset() &^ 7
 	old := ls.Data.U64(off)
@@ -131,6 +157,9 @@ func (h *Hierarchy) AtomicRMOLocal(p *sim.Proc, tileID int, a mem.Addr, op RMOOp
 // AtomicExchange swaps the word at a with v locally (LL/SC-style, §8.2),
 // returning the previous value.
 func (h *Hierarchy) AtomicExchange(p *sim.Proc, tileID int, a mem.Addr, v uint64) uint64 {
+	if h.ffGate(p) {
+		return h.ffAtomicExchange(p, tileID, a, v)
+	}
 	ls := h.access(p, tileID, a, accessOpts{write: true})
 	off := a.Offset() &^ 7
 	old := ls.Data.U64(off)

@@ -1,0 +1,410 @@
+package hier
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tako/internal/analytic"
+	"tako/internal/mem"
+	"tako/internal/sim"
+)
+
+// Analytical fast-forward (ROADMAP item 2): the first N core memory
+// accesses are executed functionally against the backing store while an
+// exact reuse-distance collector (internal/analytic) observes the
+// stream — no transactions, no coherence protocol, no event-kernel
+// churn per access. When the budget is exhausted (or, in auto mode, the
+// analytical miss ratios converge), the caches, TLBs, and directory are
+// seeded from the collector's steady-state occupancy (seed.go) and the
+// full event kernel takes over for the capture window.
+//
+// Fast-forward is exact functionally (values, including atomics, are
+// bit-identical to full simulation on the cooperative kernel) and
+// approximate temporally (warmup cycles are estimated, not simulated),
+// so it is default-off and runs only on classic-kernel baseline
+// (NoTako) machines: morph callbacks and the sharded message protocol
+// both need the event kernel per access.
+
+// ffChunk is the access count between auto-convergence checks; ffRetime
+// the count between sleep-batch latency refreshes.
+const (
+	ffChunk  = 1 << 20
+	ffRetime = 1 << 16
+	// ffAutoCap bounds auto mode: convergence or not, switch over after
+	// this many accesses.
+	ffAutoCap = 256 << 20
+	// ffConvergeTol is the per-level absolute miss-ratio delta between
+	// consecutive chunks under which a chunk counts as stable;
+	// ffConvergeRuns consecutive stable chunks trigger the switch.
+	ffConvergeTol  = 0.005
+	ffConvergeRuns = 2
+	// ffSleepEvery batches virtual time: each proc sleeps once per this
+	// many fast-forwarded accesses, keeping the cooperative kernel fair
+	// (a proc that never sleeps would starve its siblings) while
+	// spending a small fraction of the event-heap traffic. The batch
+	// width is a fidelity/speed trade: it coarsens how tile streams
+	// interleave into the merged shared-level stack, which the
+	// capacity-straddling oracle workloads are sensitive to (at 256 the
+	// uniform-llc L3 row drifts past 6% absolute; at 64 it stays within
+	// ~1%, indistinguishable from per-access interleaving).
+	ffSleepEvery = 64
+)
+
+// ffState is one hierarchy's fast-forward engine.
+type ffState struct {
+	budget   uint64
+	auto     bool
+	done     uint64
+	switched bool
+
+	col   *analytic.Collector
+	model analytic.Model
+
+	// Convergence tracking (auto mode): the model snapshot at the last
+	// chunk boundary and the previous chunk's delta estimate.
+	chunkSnap analytic.Model
+	prevChunk analytic.Estimate
+	haveChunk bool
+	stable    int
+
+	// Per-tile access counters driving the batched fairness sleeps, and
+	// the per-batch latency (re-derived from the model every ffRetime
+	// accesses so fast-forwarded virtual time tracks the estimate).
+	counts   []uint32
+	batchLat sim.Cycle
+
+	// reported is the done count already folded into the process-wide
+	// progress gauges (updated periodically, not per access).
+	reported uint64
+
+	seeded ffSeedCounts
+}
+
+// ffSeedCounts records how much warm state the switchover installed.
+type ffSeedCounts struct {
+	L1, L2, L3, TLB, Dir int
+}
+
+// Process-wide fast-forward progress, aggregated across all hierarchies
+// (report generation runs many systems concurrently); introspect's
+// /progress endpoint renders it with an ETA.
+var (
+	ffActiveSystems atomic.Int64
+	ffDoneTotal     atomic.Uint64
+	ffBudgetTotal   atomic.Uint64
+	ffStartNanos    atomic.Int64
+)
+
+// FFView is a snapshot of process-wide fast-forward progress.
+type FFView struct {
+	Active   int    // hierarchies currently fast-forwarding
+	Accesses uint64 // accesses fast-forwarded so far (all runs)
+	Budget   uint64 // total accesses budgeted (all runs)
+	PerSec   float64
+}
+
+// FFSnapshot returns process-wide fast-forward progress for live
+// introspection.
+func FFSnapshot() FFView {
+	v := FFView{
+		Active:   int(ffActiveSystems.Load()),
+		Accesses: ffDoneTotal.Load(),
+		Budget:   ffBudgetTotal.Load(),
+	}
+	if start := ffStartNanos.Load(); start != 0 && v.Accesses > 0 {
+		if el := time.Since(time.Unix(0, start)).Seconds(); el > 0 {
+			v.PerSec = float64(v.Accesses) / el
+		}
+	}
+	return v
+}
+
+// EnableFastForward arms analytical fast-forward for the first budget
+// core accesses (auto mode may switch earlier once per-level miss
+// ratios converge; budget 0 with auto selects the default cap). space
+// attributes the collector's reuse histograms to named regions and may
+// be nil. Classic-kernel baseline machines only.
+func (h *Hierarchy) EnableFastForward(budget uint64, auto bool, space *mem.Space) {
+	if h.sharded {
+		panic("hier: fast-forward requires the classic kernel (not sharded)")
+	}
+	if h.registry != nil {
+		panic("hier: fast-forward supports baseline (NoTako) machines only")
+	}
+	if budget == 0 {
+		if !auto {
+			return
+		}
+		budget = ffAutoCap
+	}
+	cfg := h.cfg
+	lineGeom := func(size, ways, banks int) analytic.Geom {
+		return analytic.Geom{Sets: banks * size / (mem.LineSize * ways), Ways: ways}
+	}
+	dtlbCfg := h.tiles[0].dtlb.Config()
+	f := &ffState{
+		budget: budget,
+		auto:   auto,
+		col:    analytic.NewCollector(cfg.Tiles, uint(dtlbCfg.PageBits), space),
+		counts: make([]uint32, cfg.Tiles),
+		model: analytic.Model{
+			L1:  lineGeom(cfg.L1Size, cfg.L1Ways, 1),
+			L2:  lineGeom(cfg.L2Size, cfg.L2Ways, 1),
+			L3:  lineGeom(cfg.L3BankSize, cfg.L3Ways, cfg.Tiles),
+			TLB: dtlbCfg.Entries,
+			Lat: analytic.Latencies{
+				L1:      float64(cfg.L1Latency),
+				L2:      float64(cfg.L2TagLat + cfg.L2DataLat),
+				L3:      float64(cfg.L3TagLat+cfg.L3DataLat) + 10, // + average mesh round trip
+				Mem:     60,                                       // average controller + device
+				TLBWalk: 30,
+			},
+		},
+		batchLat: ffSleepEvery, // until the first retime
+	}
+	// The L2/L3 models observe the filtered streams the simulator's
+	// counters see (L1 misses, private misses), gated by exact
+	// functional LRU content of the level above.
+	f.col.SetFilters(f.model.L1, f.model.L2)
+	h.ff = f
+	ffActiveSystems.Add(1)
+	ffBudgetTotal.Add(budget)
+	ffStartNanos.CompareAndSwap(0, time.Now().UnixNano())
+	h.Metrics.Counter("ff.accesses")
+	h.Metrics.Counter("ff.switch.cycle")
+}
+
+// ffGate reports whether the calling access should take the analytical
+// fast path. When the budget is exhausted it performs the switchover —
+// seeding warm state and handing control to the event kernel — and the
+// triggering access runs the normal path against a warm hierarchy.
+func (h *Hierarchy) ffGate(p *sim.Proc) bool {
+	f := h.ff
+	if f == nil || f.switched {
+		return false
+	}
+	if f.done >= f.budget {
+		h.ffSwitch(p)
+		return false
+	}
+	return true
+}
+
+// ffTouch records one fast-forwarded access: the collector observes its
+// reuse distances, the model folds them into the running estimate, and
+// every ffSleepEvery-th access per tile sleeps the batched latency so
+// virtual time advances and sibling procs stay scheduled.
+//
+// Fast paths call ffTouch AFTER their functional effect: the sleep must
+// come last, because another proc can reach the budget and switch over
+// (seeding caches from the backing store) while this one is parked — a
+// store performed after that seed would be invisible to the now-live
+// caches. With the sleep trailing, every fast-path effect is already in
+// the backing store before any switchover can observe it.
+func (h *Hierarchy) ffTouch(p *sim.Proc, tileID int, a mem.Addr, write bool) {
+	f := h.ff
+	f.model.Observe(f.col.Touch(tileID, a, write))
+	f.done++
+	f.counts[tileID]++
+	if f.counts[tileID]%ffSleepEvery == 0 {
+		p.Sleep(f.batchLat)
+	}
+	if f.done%ffRetime == 0 {
+		f.retime()
+		ffDoneTotal.Add(f.done - f.reported)
+		f.reported = f.done
+	}
+	if f.auto && f.done%ffChunk == 0 {
+		f.checkConverged()
+	}
+}
+
+// retime re-derives the per-batch sleep from the analytical average
+// latency, so fast-forwarded virtual time approximates what simulation
+// would have charged. Deterministic: derived only from the access
+// stream itself.
+func (f *ffState) retime() {
+	avg := f.model.Estimate().AvgLat
+	lat := sim.Cycle(avg * ffSleepEvery)
+	if lat < 1 {
+		lat = 1
+	}
+	f.batchLat = lat
+}
+
+// checkConverged compares the last chunk's per-level miss ratios to the
+// chunk before it; ffConvergeRuns consecutive deltas under
+// ffConvergeTol shrink the budget so the next access switches over.
+func (f *ffState) checkConverged() {
+	cur := f.model.DeltaEstimate(&f.chunkSnap)
+	f.chunkSnap = f.model
+	if f.haveChunk {
+		d := maxAbsDelta(cur, f.prevChunk)
+		if d < ffConvergeTol {
+			f.stable++
+		} else {
+			f.stable = 0
+		}
+		if f.stable >= ffConvergeRuns {
+			f.budget = f.done
+		}
+	}
+	f.prevChunk = cur
+	f.haveChunk = true
+}
+
+func maxAbsDelta(a, b analytic.Estimate) float64 {
+	m := abs(a.L1Miss - b.L1Miss)
+	if d := abs(a.L2Miss - b.L2Miss); d > m {
+		m = d
+	}
+	if d := abs(a.L3Miss - b.L3Miss); d > m {
+		m = d
+	}
+	if d := abs(a.TLBMiss - b.TLBMiss); d > m {
+		m = d
+	}
+	return m
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ffSwitch ends fast-forward: warm state is seeded from the collector's
+// steady-state occupancy (seed.go) and subsequent accesses run the full
+// event-kernel protocol.
+func (h *Hierarchy) ffSwitch(p *sim.Proc) {
+	f := h.ff
+	f.switched = true
+	f.seeded = h.seedWarmState(f.col)
+	h.Metrics.Counter("ff.accesses").Add(f.done)
+	h.Metrics.Counter("ff.switch.cycle").Add(uint64(p.Now()))
+	h.Metrics.Counter("ff.seed.l1").Add(uint64(f.seeded.L1))
+	h.Metrics.Counter("ff.seed.l2").Add(uint64(f.seeded.L2))
+	h.Metrics.Counter("ff.seed.l3").Add(uint64(f.seeded.L3))
+	h.Metrics.Counter("ff.seed.tlb").Add(uint64(f.seeded.TLB))
+	ffDoneTotal.Add(f.done - f.reported)
+	f.reported = f.done
+	ffActiveSystems.Add(-1)
+}
+
+// FinishFF closes the books on a run that ended before its fast-forward
+// budget was spent (the whole workload fit in the warmup window): the
+// progress gauges are settled and the estimate stays available. No-op
+// when fast-forward was off or already switched.
+func (h *Hierarchy) FinishFF() {
+	f := h.ff
+	if f == nil || f.switched {
+		return
+	}
+	f.switched = true
+	h.Metrics.Counter("ff.accesses").Add(f.done)
+	ffDoneTotal.Add(f.done - f.reported)
+	f.reported = f.done
+	ffActiveSystems.Add(-1)
+}
+
+// FFAccesses returns the number of accesses that were fast-forwarded
+// (0 when fast-forward is off).
+func (h *Hierarchy) FFAccesses() uint64 {
+	if h.ff == nil {
+		return 0
+	}
+	return h.ff.done
+}
+
+// FFEstimate returns the analytical estimate accumulated over the
+// fast-forwarded prefix and whether fast-forward was enabled.
+func (h *Hierarchy) FFEstimate() (analytic.Estimate, bool) {
+	if h.ff == nil {
+		return analytic.Estimate{}, false
+	}
+	return h.ff.model.Estimate(), true
+}
+
+// FFRanges returns the per-address-range reuse-distance histograms
+// collected during fast-forward.
+func (h *Hierarchy) FFRanges() []analytic.RangeHist {
+	if h.ff == nil {
+		return nil
+	}
+	return h.ff.col.Ranges()
+}
+
+// The functional fast paths below implement each public access's
+// architectural semantics directly against the backing store. The
+// cooperative kernel guarantees atomicity: none of them sleep
+// mid-operation.
+
+func (h *Hierarchy) ffLoad(p *sim.Proc, tileID int, a mem.Addr) uint64 {
+	v := h.DRAM.Store().ReadU64(a &^ 7)
+	if h.obs != nil {
+		h.obs.LoadCommitted(tileID, a, v)
+	}
+	h.ffTouch(p, tileID, a, false)
+	return v
+}
+
+func (h *Hierarchy) ffStore(p *sim.Proc, tileID int, a mem.Addr, v uint64) {
+	h.DRAM.Store().WriteU64(a&^7, v)
+	if h.obs != nil {
+		h.obs.StoreCommitted(tileID, a, v)
+	}
+	h.ffTouch(p, tileID, a, true)
+}
+
+func (h *Hierarchy) ffLoadLine(p *sim.Proc, tileID int, a mem.Addr) mem.Line {
+	var line mem.Line
+	h.DRAM.Store().PeekLine(a.Line(), &line)
+	if h.obs != nil {
+		h.obs.LineLoaded(tileID, a, &line)
+	}
+	h.ffTouch(p, tileID, a, false)
+	return line
+}
+
+func (h *Hierarchy) ffStoreLine(p *sim.Proc, tileID int, a mem.Addr, line *mem.Line, nt bool) {
+	h.DRAM.Store().WriteLine(a.Line(), line)
+	if h.obs != nil {
+		h.obs.LineStored(tileID, a, line, nt)
+	}
+	h.ffTouch(p, tileID, a, true)
+}
+
+func (h *Hierarchy) ffAtomicRMO(p *sim.Proc, tileID int, a mem.Addr, op RMOOp, v uint64) {
+	st := h.DRAM.Store()
+	aa := a &^ 7
+	old := st.ReadU64(aa)
+	st.WriteU64(aa, op.apply(old, v))
+	if h.obs != nil {
+		h.obs.RMOCommitted(tileID, a, op, v, old, op.apply(old, v))
+	}
+	h.ffTouch(p, tileID, a, true)
+}
+
+func (h *Hierarchy) ffAtomicExchange(p *sim.Proc, tileID int, a mem.Addr, v uint64) uint64 {
+	st := h.DRAM.Store()
+	aa := a &^ 7
+	old := st.ReadU64(aa)
+	st.WriteU64(aa, v)
+	if h.obs != nil {
+		h.obs.ExchangeCommitted(tileID, a, v, old)
+	}
+	h.ffTouch(p, tileID, a, true)
+	return old
+}
+
+// FFString describes the fast-forward state for diagnostics.
+func (h *Hierarchy) FFString() string {
+	f := h.ff
+	if f == nil {
+		return "ff: off"
+	}
+	return fmt.Sprintf("ff: done=%d budget=%d auto=%v switched=%v seeded=%+v",
+		f.done, f.budget, f.auto, f.switched, f.seeded)
+}

@@ -388,6 +388,10 @@ type Hierarchy struct {
 	// Config.Attribution is off, so the hot path pays one pointer check.
 	attr *txnAttr
 
+	// ff is the analytical fast-forward engine (ff.go); nil when off, so
+	// the access hot path pays one pointer check.
+	ff *ffState
+
 	// Sharded-mode state (sharded.go). sharded selects the
 	// message-passing cross-tile protocol: each tile's state machine
 	// runs on its own shard kernel and all cross-tile effects travel as

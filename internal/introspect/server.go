@@ -58,8 +58,21 @@ type progressDoc struct {
 	UptimeMS    int64           `json:"uptime_ms"`
 	Experiments experimentsDoc  `json:"experiments"`
 	Capture     system.Progress `json:"capture"`
+	FastForward *ffDoc          `json:"fastforward,omitempty"`
 	Published   int             `json:"published_runs"`
 	Sched       schedDoc        `json:"sched"`
+}
+
+// ffDoc reports the analytical fast-forward phase: how many accesses
+// have been fast-forwarded across all hierarchies, the total budget, the
+// throughput, and the ETA the throughput implies. Omitted until a run
+// enables fast-forward.
+type ffDoc struct {
+	Active   int     `json:"active"`
+	Accesses uint64  `json:"accesses"`
+	Budget   uint64  `json:"budget"`
+	PerSec   float64 `json:"per_sec"`
+	EtaMS    int64   `json:"eta_ms"`
 }
 
 type experimentsDoc struct {
@@ -176,6 +189,14 @@ func (s *Server) progress() progressDoc {
 	}
 	s.mu.Unlock()
 	doc.Capture = system.CaptureProgress()
+	if ff := hier.FFSnapshot(); ff.Budget > 0 {
+		d := &ffDoc{Active: ff.Active, Accesses: ff.Accesses,
+			Budget: ff.Budget, PerSec: ff.PerSec}
+		if ff.PerSec > 0 && ff.Budget > ff.Accesses {
+			d.EtaMS = int64(float64(ff.Budget-ff.Accesses) / ff.PerSec * 1000)
+		}
+		doc.FastForward = d
+	}
 	doc.Sched = schedDoc{Workers: sched.Workers(), Active: sched.Active()}
 	return doc
 }
@@ -206,7 +227,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, `<!doctype html><title>täkō introspection</title>
 <style>body{font:14px monospace;margin:2em}a{display:block;margin:.2em 0}</style>
 <h1>täkō simulation — live introspection</h1>
-<p>phase: <b>%s</b> · experiments %d/%d %s· runs submitted %d (cached %d) · published %d · sched %d/%d busy</p>
+<p>phase: <b>%s</b> · experiments %d/%d %s· runs submitted %d (cached %d) · published %d · sched %d/%d busy%s</p>
 <a href="/progress">/progress — run progress (JSON)</a>
 <a href="/metrics">/metrics — all run metrics snapshots (JSON)</a>
 <a href="/txn">/txn — transaction state-machine coverage heatmap</a>
@@ -214,7 +235,20 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 `,
 		html.EscapeString(p.Phase), p.Experiments.Done, p.Experiments.Total,
 		currentTag(p.Experiments.Current), p.Capture.Submitted, p.Capture.Cached,
-		p.Published, p.Sched.Active, p.Sched.Workers)
+		p.Published, p.Sched.Active, p.Sched.Workers, ffTag(p.FastForward))
+}
+
+// ffTag renders the fast-forward phase for the index line: accesses
+// fast-forwarded against the budget, with the throughput-implied ETA.
+func ffTag(ff *ffDoc) string {
+	if ff == nil {
+		return ""
+	}
+	tag := fmt.Sprintf(" · fast-forward %d/%d accesses", ff.Accesses, ff.Budget)
+	if ff.EtaMS > 0 {
+		tag += fmt.Sprintf(" (eta %s)", (time.Duration(ff.EtaMS) * time.Millisecond).Round(time.Second))
+	}
+	return tag
 }
 
 func currentTag(id string) string {

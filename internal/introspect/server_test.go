@@ -139,6 +139,35 @@ func TestServerEndToEnd(t *testing.T) {
 			len(cov.Edges), len(cov.Unvisited), len(hier.LegalEdges()))
 	}
 
+	// A fast-forwarded run surfaces the FF phase in /progress (the
+	// gauges are process-wide and cumulative, so the section persists
+	// after the run finishes).
+	ffCfg := system.Scaled(2, 16)
+	ffCfg.NoTako = true
+	ffCfg.Hier.PrefetchDegree = 0
+	ffCfg.FastForward = 4096
+	fs := system.New(ffCfg)
+	ffRegion := fs.Alloc("ff", 64*1024)
+	fs.Go(0, "ff", func(p *sim.Proc, c *cpu.Core) {
+		for i := 0; i < 6000; i++ {
+			c.Load(p, ffRegion.Base+mem.Addr((i%512)*64))
+		}
+	})
+	fs.Run()
+	_, body = get("/progress")
+	prog = progressDoc{}
+	if err := json.Unmarshal(body, &prog); err != nil {
+		t.Fatalf("/progress is not valid JSON: %v", err)
+	}
+	if prog.FastForward == nil {
+		t.Error("/progress has no fastforward section after an FF run")
+	} else if prog.FastForward.Accesses == 0 || prog.FastForward.Budget == 0 {
+		t.Errorf("fastforward = %+v, want nonzero accesses and budget", prog.FastForward)
+	}
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(string(body), "fast-forward") {
+		t.Errorf("index = %d, missing fast-forward tag: %.200s", code, body)
+	}
+
 	// Index page links everything; pprof endpoints respond.
 	if code, body := get("/"); code != http.StatusOK || !strings.Contains(string(body), "/debug/pprof/") {
 		t.Errorf("index = %d, missing pprof link: %.120s", code, body)

@@ -56,6 +56,21 @@ type Config struct {
 	// RunUntil) or cross-tile sim.Barriers on s.K. SetDefaultSharded
 	// (the -sharded flag) skips such configs instead of crashing them.
 	ShardUnsafe bool
+	// FastForward, when > 0, runs the machine's first N core memory
+	// accesses through the analytical fast-forward engine (hier/ff.go):
+	// functionally exact execution against the backing store feeding a
+	// reuse-distance collector, then warm-state seeding when the event
+	// kernel switches on. Classic-kernel baseline (NoTako) machines
+	// only; ignored (with full simulation instead) on täkō and sharded
+	// machines. Warmup timing is estimated rather than simulated, so
+	// cycle counts differ from a full run — default off, and
+	// fast-forwarded configurations carry their own goldens.
+	FastForward uint64
+	// FFAuto lets fast-forward end as soon as the analytical per-level
+	// miss ratios converge (two consecutive 1M-access chunks within
+	// 0.5% absolute), bounded by FastForward (or a 256M-access cap when
+	// FastForward is 0).
+	FFAuto bool
 }
 
 // defaultTilePar is the package-wide default for Config.TilePar when a
@@ -100,6 +115,26 @@ func SetDefaultSharded(on bool, workers int) {
 // DefaultSharded reports the package-wide sharded default.
 func DefaultSharded() (bool, int) { return defaultSharded, defaultShardWorkers }
 
+// defaultFF mirrors SetDefaultTilePar/SetDefaultSharded for the
+// analytical fast-forward warmup: the -ff / -ff-auto CLI flags set it
+// once and every baseline machine built afterwards picks it up, unless
+// its Config chose explicitly.
+var (
+	defaultFFAccesses uint64
+	defaultFFAuto     bool
+)
+
+// SetDefaultFastForward arms (or disarms, with 0/false) fast-forward
+// warmup for baseline machines whose Config left FastForward/FFAuto
+// unset.
+func SetDefaultFastForward(accesses uint64, auto bool) {
+	defaultFFAccesses = accesses
+	defaultFFAuto = auto
+}
+
+// DefaultFastForward reports the package-wide fast-forward default.
+func DefaultFastForward() (uint64, bool) { return defaultFFAccesses, defaultFFAuto }
+
 // Default returns the paper's Table 3 machine with the given tile count.
 func Default(tiles int) Config {
 	return Config{
@@ -141,10 +176,13 @@ type System struct {
 
 // New builds and wires a System.
 func New(cfg Config) *System {
-	if !cfg.Sharded && defaultSharded && cfg.NoTako && !cfg.ShardUnsafe && cfg.TilePar == 0 {
+	if !cfg.Sharded && defaultSharded && cfg.NoTako && !cfg.ShardUnsafe && cfg.TilePar == 0 &&
+		cfg.FastForward == 0 && !cfg.FFAuto && defaultFFAccesses == 0 && !defaultFFAuto {
 		// The -sharded default applies only to baseline machines that
 		// left the kernel organization unspecified; a config that chose
-		// an engine explicitly (TilePar ≥ 1, or Sharded itself) wins.
+		// an engine explicitly (TilePar ≥ 1, or Sharded itself) wins —
+		// as does fast-forward warmup (the config's or the -ff flags'),
+		// which needs the classic kernel.
 		cfg.Sharded = true
 		if cfg.ShardWorkers == 0 {
 			cfg.ShardWorkers = defaultShardWorkers
@@ -183,6 +221,15 @@ func New(cfg Config) *System {
 		s.H = hier.New(k, cfg.Hier, meter, s.Tako, s.E)
 		s.E.AttachHierarchy(s.H)
 		s.Tako.Attach(s.H, s.E)
+	}
+	if cfg.NoTako {
+		ffAcc, ffAuto := cfg.FastForward, cfg.FFAuto
+		if ffAcc == 0 && !ffAuto {
+			ffAcc, ffAuto = defaultFFAccesses, defaultFFAuto
+		}
+		if ffAcc > 0 || ffAuto {
+			s.H.EnableFastForward(ffAcc, ffAuto, space)
+		}
 	}
 	for i := 0; i < cfg.Tiles; i++ {
 		s.Cores = append(s.Cores, cpu.New(s.H, i, cfg.Core, meter))
@@ -280,6 +327,9 @@ func (s *System) Run() sim.Cycle {
 	if blocked := s.K.Blocked(); len(blocked) > 0 {
 		panic(fmt.Sprintf("system: deadlocked processes after run: %v", blocked))
 	}
+	// Settle fast-forward accounting for workloads that finished inside
+	// the warmup window (no-op when off or already switched over).
+	s.H.FinishFF()
 	// Retire the kernel's pooled worker goroutines: report generation
 	// runs thousands of systems in one process, and parked goroutines
 	// from finished kernels would otherwise accumulate.

@@ -145,6 +145,40 @@ func (t *TLB) Lookup(a mem.Addr) (latency sim.Cycle, hit bool) {
 	return t.cfg.HitLatency + t.cfg.WalkLatency, false
 }
 
+// Warm installs the translation covering a without touching the
+// hit/miss statistics: warm-state pre-seeding for analytical
+// fast-forward. Warming never evicts — it returns false when the set is
+// full — and refreshes recency when the page is already resident, so
+// callers warm in least-recent-first order.
+func (t *TLB) Warm(a mem.Addr) bool {
+	page := t.pageOf(a)
+	base := t.setBase(page)
+	set := t.entries[base : base+t.ways]
+	empty := -1
+	for i := range set {
+		if set[i].use == 0 {
+			if empty < 0 {
+				empty = i
+			}
+			continue
+		}
+		if set[i].page == page {
+			t.tick++
+			set[i].use = t.tick
+			t.mru[base/t.ways] = int32(i)
+			return true
+		}
+	}
+	if empty < 0 {
+		return false
+	}
+	t.tick++
+	set[empty] = entry{page: page, use: t.tick}
+	t.mru[base/t.ways] = int32(empty)
+	t.live++
+	return true
+}
+
 // FlushRegion removes entries overlapping r (a shootdown, issued when a
 // Morph is registered or unregistered on the range).
 func (t *TLB) FlushRegion(r mem.Region) {

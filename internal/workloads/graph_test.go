@@ -1,0 +1,176 @@
+package workloads
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Reference adjacency-list generators: the pre-streaming implementations,
+// kept verbatim so the two-pass CSR builders are pinned byte-identical to
+// the graphs every existing golden was produced with.
+
+func refFromAdjacency(adj [][]uint64) *Graph {
+	v := len(adj)
+	g := &Graph{V: v, Offsets: make([]uint64, v+1)}
+	for i, ns := range adj {
+		g.Offsets[i+1] = g.Offsets[i] + uint64(len(ns))
+		g.Neighbors = append(g.Neighbors, ns...)
+	}
+	g.E = len(g.Neighbors)
+	return g
+}
+
+func refGenUniform(v, e int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]uint64, v)
+	for i := 0; i < e; i++ {
+		src := rng.Intn(v)
+		dst := rng.Intn(v)
+		adj[src] = append(adj[src], uint64(dst))
+	}
+	return refFromAdjacency(adj)
+}
+
+func refGenCommunity(v, e, communities int, pIntra float64, seed int64) *Graph {
+	if communities < 1 {
+		communities = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(v)
+	commOf := make([]int, v)
+	members := make([][]int, communities)
+	for i, p := range perm {
+		c := i * communities / v
+		commOf[p] = c
+		members[c] = append(members[c], p)
+	}
+	adj := make([][]uint64, v)
+	for i := 0; i < e; i++ {
+		src := rng.Intn(v)
+		var dst int
+		if rng.Float64() < pIntra {
+			m := members[commOf[src]]
+			dst = m[rng.Intn(len(m))]
+		} else {
+			dst = rng.Intn(v)
+		}
+		adj[src] = append(adj[src], uint64(dst))
+	}
+	return refFromAdjacency(adj)
+}
+
+func refSymmetrize(g *Graph) *Graph {
+	adj := make([][]uint64, g.V)
+	for src := 0; src < g.V; src++ {
+		for _, d := range g.Neigh(src) {
+			adj[src] = append(adj[src], d)
+			adj[int(d)] = append(adj[int(d)], uint64(src))
+		}
+	}
+	return refFromAdjacency(adj)
+}
+
+func sameGraph(t *testing.T, got, want *Graph, what string) {
+	t.Helper()
+	if got.V != want.V || got.E != want.E {
+		t.Fatalf("%s: shape (%d,%d) != reference (%d,%d)", what, got.V, got.E, want.V, want.E)
+	}
+	if !reflect.DeepEqual(got.Offsets, want.Offsets) {
+		t.Fatalf("%s: offsets differ from reference", what)
+	}
+	if len(got.Neighbors) != len(want.Neighbors) {
+		t.Fatalf("%s: neighbor count differs", what)
+	}
+	for i := range got.Neighbors {
+		if got.Neighbors[i] != want.Neighbors[i] {
+			t.Fatalf("%s: neighbor[%d] = %d, reference %d", what, i, got.Neighbors[i], want.Neighbors[i])
+		}
+	}
+}
+
+// TestStreamingGeneratorsByteIdentical pins the two-pass streaming CSR
+// builders against the old adjacency-list implementations across seeds —
+// every neighbor in the same position, so all graph-dependent goldens
+// are untouched by the rewrite.
+func TestStreamingGeneratorsByteIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		sameGraph(t, GenUniform(500, 4000, seed), refGenUniform(500, 4000, seed), "GenUniform")
+		g := GenCommunity(600, 5000, 12, 0.85, seed)
+		ref := refGenCommunity(600, 5000, 12, 0.85, seed)
+		sameGraph(t, g, ref, "GenCommunity")
+		sameGraph(t, Symmetrize(g), refSymmetrize(ref), "Symmetrize")
+	}
+}
+
+// TestGeneratorAllocsBounded is the alloc gate for the streaming
+// rewrite: edge count must not show up as an allocation count. The old
+// adjacency-list builder cost thousands of appends per graph; the
+// streaming builder allocates a fixed handful of arrays.
+func TestGeneratorAllocsBounded(t *testing.T) {
+	const v, e = 4096, 32768
+	allocs := testing.AllocsPerRun(3, func() {
+		GenUniform(v, e, 42)
+	})
+	// rng + deg + offsets + neighbors + cursors + a few rand internals.
+	if allocs > 16 {
+		t.Fatalf("GenUniform(%d,%d): %v allocs/run, want <= 16 (edge-proportional allocation?)", v, e, allocs)
+	}
+	g := GenUniform(v, e, 42)
+	allocs = testing.AllocsPerRun(3, func() {
+		Symmetrize(g)
+	})
+	if allocs > 8 {
+		t.Fatalf("Symmetrize(%d,%d): %v allocs/run, want <= 8", v, e, allocs)
+	}
+}
+
+// TestEdgeStream checks the lazy paper-scale graph: closed-form offsets
+// and degrees must be consistent (offset deltas == degrees, total == E),
+// destinations deterministic and in range.
+func TestEdgeStream(t *testing.T) {
+	for _, s := range []EdgeStream{
+		{V: 7, E: 23, Seed: 1},
+		{V: 1000, E: 16000, Seed: 99},
+		{V: 8 << 20, E: 128 << 20, Seed: 2002}, // full-tier shape, O(1) memory
+	} {
+		probe := s.V
+		if probe > 4096 {
+			probe = 4096
+		}
+		var total uint64
+		for v := 0; v < probe; v++ {
+			if got := s.Offset(v+1) - s.Offset(v); got != uint64(s.OutDegree(v)) {
+				t.Fatalf("V=%d v=%d: offset delta %d != degree %d", s.V, v, got, s.OutDegree(v))
+			}
+			total += uint64(s.OutDegree(v))
+		}
+		if probe == s.V && total != uint64(s.E) {
+			t.Fatalf("V=%d: degree sum %d != E %d", s.V, total, s.E)
+		}
+		if got := s.Offset(s.V); got != uint64(s.E) {
+			t.Fatalf("V=%d: Offset(V) = %d, want E = %d", s.V, got, s.E)
+		}
+		for _, i := range []uint64{0, 1, uint64(s.E) - 1, uint64(s.E) / 2} {
+			d := s.Dst(i)
+			if d >= uint64(s.V) {
+				t.Fatalf("V=%d: Dst(%d) = %d out of range", s.V, i, d)
+			}
+			if d2 := s.Dst(i); d2 != d {
+				t.Fatalf("V=%d: Dst(%d) nondeterministic", s.V, i)
+			}
+		}
+	}
+	// Destinations should be roughly uniform: over many draws no vertex
+	// bucket should be empty at coarse granularity.
+	s := EdgeStream{V: 16, E: 1 << 14, Seed: 5}
+	var counts [16]int
+	for i := uint64(0); i < uint64(s.E); i++ {
+		counts[s.Dst(i)]++
+	}
+	for v, n := range counts {
+		if n == 0 {
+			t.Fatalf("dst bucket %d empty over %d edges", v, s.E)
+		}
+	}
+}
