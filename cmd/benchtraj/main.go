@@ -58,10 +58,14 @@ type reportSummary struct {
 
 // trajectory is the emitted document.
 type trajectory struct {
-	Benchmarks []benchEntry   `json:"benchmarks"`
-	Sharded    *shardedSpeed  `json:"sharded,omitempty"`
-	FFWarmup   *ffSpeed       `json:"ff_warmup,omitempty"`
-	Report     *reportSummary `json:"report,omitempty"`
+	Benchmarks []benchEntry  `json:"benchmarks"`
+	Sharded    *shardedSpeed `json:"sharded,omitempty"`
+	// ShardedTako is the same speedup column for a täkō machine (live
+	// engines running onMiss callbacks at the home tiles), from
+	// BenchmarkShardedTakoVsPartitioned.
+	ShardedTako *shardedSpeed  `json:"sharded_tako,omitempty"`
+	FFWarmup    *ffSpeed       `json:"ff_warmup,omitempty"`
+	Report      *reportSummary `json:"report,omitempty"`
 }
 
 // ffSpeed is the analytical fast-forward speedup column, assembled from
@@ -130,7 +134,10 @@ type shardedSpeed struct {
 	SingleCore bool `json:"single_core,omitempty"`
 }
 
-const shardedBenchName = "BenchmarkShardedVsPartitioned/"
+const (
+	shardedBenchName     = "BenchmarkShardedVsPartitioned/"
+	shardedTakoBenchName = "BenchmarkShardedTakoVsPartitioned/"
+)
 
 // benchVariant strips the benchmark prefix and Go's -GOMAXPROCS suffix:
 // "BenchmarkShardedVsPartitioned/sharded-w2-8" → "sharded-w2".
@@ -156,14 +163,15 @@ func singleCore(e benchEntry) bool {
 	return false
 }
 
-// buildShardedSpeed pairs the sharded-vs-partitioned machine benchmark's
-// sub-benchmarks into a speedup column. Repeated samples (-count N)
-// reduce to the best (minimum) ns/op; single-core samples are preferred
-// strictly less than multi-core ones — a variant's row is marked
-// single_core only when no multi-core sample exists for it, so a lone
-// single-core sweep is annotated rather than averaged into the column.
-// Returns nil when the benchmark logs carry no paired entries.
-func buildShardedSpeed(entries []benchEntry) *shardedSpeed {
+// buildShardedSpeed pairs one sharded-vs-partitioned machine benchmark's
+// sub-benchmarks (selected by name prefix) into a speedup column.
+// Repeated samples (-count N) reduce to the best (minimum) ns/op;
+// single-core samples are preferred strictly less than multi-core ones —
+// a variant's row is marked single_core only when no multi-core sample
+// exists for it, so a lone single-core sweep is annotated rather than
+// averaged into the column. Returns nil when the benchmark logs carry no
+// paired entries.
+func buildShardedSpeed(entries []benchEntry, prefix string) *shardedSpeed {
 	type acc struct {
 		best       float64
 		singleCore bool
@@ -172,7 +180,7 @@ func buildShardedSpeed(entries []benchEntry) *shardedSpeed {
 	byVariant := map[string]*acc{}
 	var order []string
 	for _, e := range entries {
-		if !strings.HasPrefix(e.Name, shardedBenchName) {
+		if !strings.HasPrefix(e.Name, prefix) {
 			continue
 		}
 		ns, ok := e.Metrics["ns/op"]
@@ -306,7 +314,8 @@ func main() {
 		}
 		traj.Benchmarks = append(traj.Benchmarks, entries...)
 	}
-	traj.Sharded = buildShardedSpeed(traj.Benchmarks)
+	traj.Sharded = buildShardedSpeed(traj.Benchmarks, shardedBenchName)
+	traj.ShardedTako = buildShardedSpeed(traj.Benchmarks, shardedTakoBenchName)
 	traj.FFWarmup = buildFFSpeed(traj.Benchmarks)
 	if *report != "" {
 		sum, err := loadReport(*report)

@@ -162,7 +162,7 @@ func TestBuildFFSpeed(t *testing.T) {
 }
 
 func TestBuildShardedSpeedMultiCore(t *testing.T) {
-	sp := buildShardedSpeed(parseLog(t, multiCoreLog))
+	sp := buildShardedSpeed(parseLog(t, multiCoreLog), shardedBenchName)
 	if sp == nil {
 		t.Fatal("no sharded summary built")
 	}
@@ -186,7 +186,7 @@ func TestBuildShardedSpeedMultiCore(t *testing.T) {
 // multi-core samples exist for a variant, only the multi-core ones
 // count.
 func TestBuildShardedSpeedSingleCoreAnnotation(t *testing.T) {
-	sp := buildShardedSpeed(parseLog(t, singleCoreLog))
+	sp := buildShardedSpeed(parseLog(t, singleCoreLog), shardedBenchName)
 	if sp == nil {
 		t.Fatal("no sharded summary built")
 	}
@@ -199,7 +199,7 @@ func TestBuildShardedSpeedSingleCoreAnnotation(t *testing.T) {
 		}
 	}
 
-	sp = buildShardedSpeed(parseLog(t, singleCoreLog+multiCoreLog))
+	sp = buildShardedSpeed(parseLog(t, singleCoreLog+multiCoreLog), shardedBenchName)
 	if sp.SingleCore {
 		t.Error("mixed sweep marked single-core despite multi-core samples")
 	}
@@ -210,5 +210,36 @@ func TestBuildShardedSpeedSingleCoreAnnotation(t *testing.T) {
 		if r.Variant == "sharded-w4" && (r.SpeedupVsPartitioned < 1.99 || r.SpeedupVsPartitioned > 2.01) {
 			t.Errorf("sharded-w4 speedup = %v, want 2.0 (multi-core samples only)", r.SpeedupVsPartitioned)
 		}
+	}
+}
+
+const takoLog = `goos: linux
+BenchmarkShardedTakoVsPartitioned/partitioned-8   3  12000000 ns/op  8.000 cpus  8.000 gomaxprocs
+BenchmarkShardedTakoVsPartitioned/sharded-w4-8    3   4000000 ns/op  8.000 cpus  8.000 gomaxprocs
+PASS
+`
+
+// The täkō-machine column is built from its own benchmark only — the
+// baseline-machine samples never leak into it, and vice versa.
+func TestBuildShardedTakoSpeedIsolated(t *testing.T) {
+	entries := parseLog(t, multiCoreLog+takoLog)
+	tako := buildShardedSpeed(entries, shardedTakoBenchName)
+	if tako == nil {
+		t.Fatal("no sharded_tako summary built")
+	}
+	if len(tako.Rows) != 2 {
+		t.Fatalf("sharded_tako rows = %d, want 2", len(tako.Rows))
+	}
+	for _, r := range tako.Rows {
+		if r.Variant == "sharded-w4" && (r.SpeedupVsPartitioned < 2.99 || r.SpeedupVsPartitioned > 3.01) {
+			t.Errorf("sharded-w4 täkō speedup = %v, want 3.0", r.SpeedupVsPartitioned)
+		}
+	}
+	base := buildShardedSpeed(entries, shardedBenchName)
+	if len(base.Rows) != 3 {
+		t.Fatalf("baseline column rows = %d, want 3 (täkō samples leaked in?)", len(base.Rows))
+	}
+	if buildShardedSpeed(parseLog(t, multiCoreLog), shardedTakoBenchName) != nil {
+		t.Error("sharded_tako column built with no täkō samples")
 	}
 }

@@ -110,7 +110,7 @@ func main() {
 		jobs      = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
 		tilePar   = flag.Int("tile-par", 1, "tile queues to partition each simulation's event kernel into (1 = sequential single-queue kernel; the report is identical at any width)")
 
-		sharded      = flag.Bool("sharded", false, "host baseline (NoTako) machines on the tile-sharded message-passing engine (cycle counts differ from the classic engine; byte-identical at any -shard-workers)")
+		sharded      = flag.Bool("sharded", false, "host the machine (baseline or täkō) on the tile-sharded message-passing engine (cycle counts differ from the classic engine; byte-identical at any -shard-workers)")
 		shardWorkers = flag.Int("shard-workers", 0, "worker goroutines per sharded simulation (≤1 = deterministic sequenced schedule)")
 		out          = flag.String("out", "", "also write the report to this file")
 		skip         = flag.String("skip", "", "comma-separated experiment ids to skip")
@@ -144,11 +144,6 @@ func main() {
 
 	sched.SetWorkers(*jobs)
 	system.SetDefaultTilePar(*tilePar)
-	if *sharded && *traceOut != "" {
-		// Sharded hierarchies have no single commit order to trace.
-		fmt.Fprintln(os.Stderr, "takoreport: -trace is not supported with -sharded (metrics capture still works)")
-		os.Exit(1)
-	}
 	system.SetDefaultSharded(*sharded, *shardWorkers)
 	system.SetDefaultFastForward(*ff, *ffAuto)
 	if err := exp.SetScale(*scaleTier); err != nil {

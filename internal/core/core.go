@@ -110,19 +110,38 @@ func (m *Morph) View(tile int) interface{} {
 
 // Tako is the runtime connecting software, the cache hierarchy, and the
 // engines. It implements hier.Registry and engine.Program.
+//
+// The registry is partitioned per tile: every tile holds its own slice
+// of the live Morphs, and Binding/Spec/View only ever read the slice of
+// the tile they are asked about. On a classic (single-kernel) build the
+// per-tile slices are updated synchronously and are always identical; on
+// a sharded build each slice is owned by its tile's shard, and
+// registration broadcasts the new Morph to every other shard as
+// lookahead-delayed mailbox messages, waiting for their acknowledgements
+// before the registering thread proceeds. Remote tiles therefore observe
+// a registration one epoch late at the earliest — mirroring the TLB
+// shootdown a real OS would need — and no shard ever reads registry
+// state another shard is mutating.
 type Tako struct {
-	K     *sim.Kernel
+	K     *sim.Kernel  // classic kernel; nil on a sharded build
+	Sh    *sim.Sharded // sharded engine; nil on a classic build
 	Space *mem.Space
 	H     *hier.Hierarchy
 	E     *engine.Engines
 
-	morphs []*Morph
-	nextID int
+	morphs  [][]*Morph // per-tile registry views (sized at Attach)
+	nextSeq []int      // per-tile registration sequence numbers
 
 	// RegisterCost models the OS work of (un)registration: page-table
 	// style bookkeeping plus TLB shootdowns (§6).
 	RegisterCost sim.Cycle
 }
+
+// idStripe separates per-tile Morph ID ranges on sharded builds: tile t
+// allocates IDs in (t*idStripe, (t+1)*idStripe], so concurrent
+// registrations on different tiles mint IDs that depend only on their
+// own tile's registration history.
+const idStripe = 1 << 20
 
 // New creates the runtime. Attach the hierarchy and engines with Attach
 // before registering Morphs.
@@ -130,15 +149,27 @@ func New(k *sim.Kernel, space *mem.Space) *Tako {
 	return &Tako{K: k, Space: space, RegisterCost: 1000}
 }
 
-// Attach wires the runtime to its hierarchy and engines.
+// NewSharded creates the runtime for a sharded machine. Registration
+// state is broadcast between shards by message; see the Tako doc.
+func NewSharded(sh *sim.Sharded, space *mem.Space) *Tako {
+	return &Tako{Sh: sh, Space: space, RegisterCost: 1000}
+}
+
+// Attach wires the runtime to its hierarchy and engines and sizes the
+// per-tile registry views.
 func (t *Tako) Attach(h *hier.Hierarchy, e *engine.Engines) {
 	t.H = h
 	t.E = e
+	if n := h.Tiles(); len(t.morphs) != n {
+		t.morphs = make([][]*Morph, n)
+		t.nextSeq = make([]int, n)
+	}
 }
 
-// Binding implements hier.Registry.
-func (t *Tako) Binding(a mem.Addr) (hier.Binding, bool) {
-	for _, m := range t.morphs {
+// Binding implements hier.Registry: resolve a from tile's view of the
+// registry.
+func (t *Tako) Binding(tile int, a mem.Addr) (hier.Binding, bool) {
+	for _, m := range t.morphs[tile] {
 		if m.Region.Contains(a) {
 			return hier.Binding{
 				MorphID:      m.ID,
@@ -156,8 +187,8 @@ func (t *Tako) Binding(a mem.Addr) (hier.Binding, bool) {
 }
 
 // Spec implements engine.Program.
-func (t *Tako) Spec(morphID int, kind hier.CallbackKind) (engine.Spec, bool) {
-	m := t.byID(morphID)
+func (t *Tako) Spec(morphID, tile int, kind hier.CallbackKind) (engine.Spec, bool) {
+	m := t.byID(morphID, tile)
 	if m == nil {
 		return engine.Spec{}, false
 	}
@@ -183,15 +214,15 @@ func (t *Tako) Spec(morphID int, kind hier.CallbackKind) (engine.Spec, bool) {
 
 // View implements engine.Program.
 func (t *Tako) View(morphID, tile int) interface{} {
-	m := t.byID(morphID)
+	m := t.byID(morphID, tile)
 	if m == nil {
 		return nil
 	}
 	return m.View(tile)
 }
 
-func (t *Tako) byID(id int) *Morph {
-	for _, m := range t.morphs {
+func (t *Tako) byID(id, tile int) *Morph {
+	for _, m := range t.morphs[tile] {
 		if m.ID == id {
 			return m
 		}
@@ -199,8 +230,14 @@ func (t *Tako) byID(id int) *Morph {
 	return nil
 }
 
-// Morphs returns the live registrations.
-func (t *Tako) Morphs() []*Morph { return t.morphs }
+// Morphs returns the live registrations (tile 0's view; every tile sees
+// the same set once in-flight registration broadcasts drain).
+func (t *Tako) Morphs() []*Morph {
+	if len(t.morphs) == 0 {
+		return nil
+	}
+	return t.morphs[0]
+}
 
 var (
 	// ErrOverlap is returned when a registration overlaps a live Morph
@@ -210,11 +247,26 @@ var (
 	ErrBadLevel = errors.New("tako: Morphs register at PRIVATE or SHARED only")
 )
 
-func (t *Tako) validate(spec MorphSpec, level Level, region mem.Region) error {
+// origin returns the tile whose registry view the calling proc owns: the
+// proc's shard on a sharded build, or the registering tile classically
+// (where every view is identical anyway).
+func (t *Tako) origin(p *sim.Proc, tile int) int {
+	if t.Sh != nil {
+		return t.Sh.ShardOf(p.Kernel())
+	}
+	return tile
+}
+
+// validate checks a registration against one tile's registry view.
+// Overlap is checked against that view only: phantom ranges cannot
+// overlap across tiles by construction (per-tile stripes), and real-range
+// registrations racing from different tiles within one lookahead window
+// are a workload bug täkō's OS support would also not catch (§6).
+func (t *Tako) validate(spec MorphSpec, level Level, region mem.Region, tile int) error {
 	if level != Private && level != Shared {
 		return ErrBadLevel
 	}
-	for _, m := range t.morphs {
+	for _, m := range t.morphs[tile] {
 		if region.Base < m.Region.End() && m.Region.Base < region.End() {
 			return fmt.Errorf("%w: %v overlaps %v", ErrOverlap, region, m.Region)
 		}
@@ -228,13 +280,27 @@ func (t *Tako) validate(spec MorphSpec, level Level, region mem.Region) error {
 }
 
 func (t *Tako) install(p *sim.Proc, spec MorphSpec, level Level, region mem.Region, tile int) *Morph {
-	t.nextID++
+	origin := t.origin(p, tile)
+	var id int
+	if t.Sh != nil {
+		// Stripe IDs per registering tile so concurrent registrations
+		// mint IDs independent of cross-tile interleaving.
+		t.nextSeq[origin]++
+		id = t.nextSeq[origin] + origin*idStripe
+	} else {
+		// Classic builds have one logical registry: a single global
+		// sequence, so IDs minted from different tiles never collide.
+		t.nextSeq[0]++
+		id = t.nextSeq[0]
+	}
 	m := &Morph{
-		ID: t.nextID, Spec: spec, Level: level, Region: region, Tile: tile,
+		ID: id, Spec: spec, Level: level, Region: region, Tile: tile,
 		tako: t, views: make(map[int]interface{}),
 	}
 	// Eagerly create views so software can initialize local state:
-	// one for PRIVATE, one per bank for SHARED (§4.2).
+	// one for PRIVATE, one per bank for SHARED (§4.2). Views built here
+	// become visible to remote shards through the registration broadcast,
+	// which is the happens-before edge.
 	if spec.NewView != nil {
 		if level == Private {
 			m.View(tile)
@@ -244,9 +310,48 @@ func (t *Tako) install(p *sim.Proc, spec MorphSpec, level Level, region mem.Regi
 			}
 		}
 	}
-	t.morphs = append(t.morphs, m)
+	t.publish(p, origin, func(view *[]*Morph) {
+		*view = append(*view, m)
+	})
 	p.Sleep(t.RegisterCost) // OS bookkeeping + TLB shootdown (§6)
 	return m
+}
+
+// publish applies a registry mutation to every tile's view. Classic
+// builds mutate all views synchronously. Sharded builds mutate the
+// origin's view directly and ship the mutation to every other shard as a
+// mailbox message, waiting for all acknowledgements — the message-passing
+// analogue of a TLB shootdown, and the reason remote shards never
+// observe a half-made registration.
+func (t *Tako) publish(p *sim.Proc, origin int, mutate func(view *[]*Morph)) {
+	if t.Sh == nil {
+		for i := range t.morphs {
+			mutate(&t.morphs[i])
+		}
+		return
+	}
+	mutate(&t.morphs[origin])
+	sh := t.Sh.Shard(origin)
+	la := t.Sh.Lookahead()
+	acks := make([]*sim.Future, 0, len(t.morphs)-1)
+	for i := range t.morphs {
+		if i == origin {
+			continue
+		}
+		// Several acks are outstanding at once, and a completed pooled
+		// future recycles before the loop below reaches it — use fresh
+		// futures.
+		f := sim.NewFuture(p.Kernel())
+		acks = append(acks, f)
+		i := i
+		sh.Send(i, la, func() {
+			mutate(&t.morphs[i])
+			t.Sh.Shard(i).SendComplete(origin, la, f)
+		})
+	}
+	for _, f := range acks {
+		p.Wait(f)
+	}
 }
 
 // RegisterPhantom allocates a phantom address range of the given size
@@ -254,8 +359,16 @@ func (t *Tako) install(p *sim.Proc, spec MorphSpec, level Level, region mem.Regi
 // caches; onMiss and onWriteback define the semantics of loads and
 // stores to the range.
 func (t *Tako) RegisterPhantom(p *sim.Proc, spec MorphSpec, level Level, size uint64, tile int) (*Morph, error) {
-	region := t.Space.AllocPhantom(spec.Name, size)
-	if err := t.validate(spec, level, region); err != nil {
+	origin := t.origin(p, tile)
+	var region mem.Region
+	if t.Sh != nil {
+		// Per-tile phantom stripes keep concurrently allocated ranges
+		// independent of cross-shard timing.
+		region = t.Space.AllocPhantomAt(origin, spec.Name, size)
+	} else {
+		region = t.Space.AllocPhantom(spec.Name, size)
+	}
+	if err := t.validate(spec, level, region, origin); err != nil {
 		t.Space.Free(region)
 		return nil, err
 	}
@@ -269,7 +382,7 @@ func (t *Tako) RegisterReal(p *sim.Proc, spec MorphSpec, level Level, region mem
 	if region.Phantom {
 		return nil, errors.New("tako: RegisterReal requires a real region")
 	}
-	if err := t.validate(spec, level, region); err != nil {
+	if err := t.validate(spec, level, region, t.origin(p, tile)); err != nil {
 		return nil, err
 	}
 	t.H.InvalidateRegion(p, region)
@@ -292,12 +405,14 @@ func (t *Tako) Unregister(p *sim.Proc, m *Morph) {
 	}
 	t.FlushData(p, m)
 	m.unregistered = true
-	for i, mm := range t.morphs {
-		if mm == m {
-			t.morphs = append(t.morphs[:i], t.morphs[i+1:]...)
-			break
+	t.publish(p, t.origin(p, m.Tile), func(view *[]*Morph) {
+		for i, mm := range *view {
+			if mm == m {
+				*view = append((*view)[:i], (*view)[i+1:]...)
+				break
+			}
 		}
-	}
+	})
 	if m.Region.Phantom {
 		t.Space.Free(m.Region)
 	}

@@ -112,11 +112,12 @@ type Spec struct {
 }
 
 // Program resolves Morph callbacks for the engine; implemented by the
-// core täkō package.
+// core täkō package. Lookups name the tile whose registry view should
+// answer: on a sharded machine each tile's view is owned by its shard.
 type Program interface {
-	// Spec returns the callback for (morphID, kind); ok=false if the
-	// Morph does not implement it.
-	Spec(morphID int, kind hier.CallbackKind) (Spec, bool)
+	// Spec returns the callback for (morphID, kind) as tile sees it;
+	// ok=false if the Morph does not implement it.
+	Spec(morphID, tile int, kind hier.CallbackKind) (Spec, bool)
 	// View returns the engine-local view of the Morph on this tile
 	// (per-engine state, §4.2).
 	View(morphID, tile int) interface{}
@@ -147,9 +148,12 @@ type engTile struct {
 	queued    int
 }
 
-// Engines implements hier.Runner for every tile.
+// Engines implements hier.Runner for every tile. Each tile's engine
+// schedules its work on that tile's kernel: classically every entry of
+// ks is the same kernel; on a sharded build ks[i] is shard i's kernel,
+// making every callback shard-local work.
 type Engines struct {
-	k     *sim.Kernel
+	ks    []*sim.Kernel // per-tile kernels (all identical classically)
 	cfg   Config
 	prog  Program
 	meter *energy.Meter
@@ -170,8 +174,29 @@ type Engines struct {
 // New builds engines for `tiles` tiles. The hierarchy is attached later
 // with AttachHierarchy (engines and hierarchy reference each other).
 func New(k *sim.Kernel, cfg Config, tiles int, prog Program, meter *energy.Meter) *Engines {
-	e := &Engines{k: k, cfg: cfg, prog: prog, meter: meter}
-	for i := 0; i < tiles; i++ {
+	ks := make([]*sim.Kernel, tiles)
+	for i := range ks {
+		ks[i] = k
+	}
+	return build(ks, cfg, prog, meter)
+}
+
+// NewSharded builds engines for a sharded machine: tile i's engine runs
+// on shard i's kernel, so every callback is shard-local work.
+func NewSharded(sh *sim.Sharded, cfg Config, tiles int, prog Program, meter *energy.Meter) *Engines {
+	if tiles != sh.Shards() {
+		panic(fmt.Sprintf("engine: %d tiles on a %d-shard engine", tiles, sh.Shards()))
+	}
+	ks := make([]*sim.Kernel, tiles)
+	for i := range ks {
+		ks[i] = sh.Shard(i).K
+	}
+	return build(ks, cfg, prog, meter)
+}
+
+func build(ks []*sim.Kernel, cfg Config, prog Program, meter *energy.Meter) *Engines {
+	e := &Engines{ks: ks, cfg: cfg, prog: prog, meter: meter}
+	for _, k := range ks {
 		e.tiles = append(e.tiles, &engTile{
 			buffer:   sim.NewSemaphore(k, maxInt(cfg.CallbackBuffer, 1)),
 			seqChain: make(map[int]*sim.Future),
@@ -208,12 +233,14 @@ func (e *Engines) AttachHierarchy(h *hier.Hierarchy) {
 	}
 }
 
-// tracer returns the hierarchy's tracer (nil when tracing is off).
-func (e *Engines) tracer() *trace.Tracer {
+// tracerAt returns the tracer callback spans on tile must record into:
+// the tile's per-shard fork on a sharded build, the hierarchy's shared
+// tracer classically (nil when tracing is off).
+func (e *Engines) tracerAt(tile int) *trace.Tracer {
 	if e.h == nil {
 		return nil
 	}
-	return e.h.Tracer()
+	return e.h.TracerAt(tile)
 }
 
 // Config returns the engine configuration.
@@ -250,15 +277,16 @@ func (e *Engines) Saturated(tile int) bool {
 // Run implements hier.Runner: schedule a callback on tile's engine.
 func (e *Engines) Run(tile int, kind hier.CallbackKind, b hier.Binding, addr mem.Addr, line *mem.Line) (accepted, done *sim.Future) {
 	t := e.tiles[tile]
-	spec, ok := e.prog.Spec(b.MorphID, kind)
+	k := e.ks[tile]
+	spec, ok := e.prog.Spec(b.MorphID, tile, kind)
 	if !ok {
 		// No such callback: complete immediately (hier normally
 		// filters these via the Binding Has* flags).
-		f := sim.CompletedFuture(e.k)
+		f := sim.CompletedFuture(k)
 		return f, f
 	}
-	accepted = sim.NewFuture(e.k)
-	done = sim.NewFuture(e.k)
+	accepted = sim.NewFuture(k)
+	done = sim.NewFuture(k)
 	t.queued++
 	if t.queued > t.stats.MaxQueue {
 		t.stats.MaxQueue = t.queued
@@ -274,8 +302,8 @@ func (e *Engines) Run(tile int, kind hier.CallbackKind, b hier.Binding, addr mem
 		t.addrChain.Put(uint64(addr), done)
 	}
 
-	sched := e.k.Now()
-	e.k.Go(fmt.Sprintf("cb:%s@%d", kind, tile), func(p *sim.Proc) {
+	sched := k.Now()
+	k.Go(fmt.Sprintf("cb:%s@%d", kind, tile), func(p *sim.Proc) {
 		if waitOn != nil {
 			p.Wait(waitOn)
 		}
@@ -293,7 +321,7 @@ func (e *Engines) Run(tile int, kind hier.CallbackKind, b hier.Binding, addr mem
 		e.queueHist[kind].Observe(start - sched)
 		e.execHist[kind].Observe(end - start)
 		e.totalHist[kind].Observe(end - sched)
-		if tr := e.tracer(); tr != nil && tile < len(e.comp) {
+		if tr := e.tracerAt(tile); tr != nil && tile < len(e.comp) {
 			comp := e.comp[tile]
 			// Nested slices on the engine track: the cb.<kind> span
 			// encloses its queue and exec phases.

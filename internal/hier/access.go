@@ -39,9 +39,7 @@ func (h *Hierarchy) Load(p *sim.Proc, tileID int, a mem.Addr) uint64 {
 		h.LoadLat.Observe(float64(lat))
 	}
 	h.hot.loadLat.Observe(lat)
-	if h.tracer != nil {
-		h.tracer.EmitSpan(start, p.Now(), h.comp.core[tileID], "load", "")
-	}
+	h.tracerAt(tileID).EmitSpan(start, p.Now(), h.comp.core[tileID], "load", "")
 	return v
 }
 
@@ -206,9 +204,9 @@ func (h *Hierarchy) access(p *sim.Proc, tileID int, a mem.Addr, o accessOpts) *c
 		// lands in the Idle state and the access total matches Load's
 		// recorded latency window exactly (the conservation invariant).
 		x.stamp(start)
-		// The slow ring is a single shared structure; sharded builds keep
-		// the (commutative) dwell histograms but skip timeline tracking.
-		x.track = !o.engine && !o.prefetch && !h.sharded
+		// Sharded builds track too: each tile offers into its own slow
+		// ring (tile.slow), merged deterministically in SlowestAccesses.
+		x.track = !o.engine && !o.prefetch
 	}
 	x.run()
 	ls := x.result
@@ -240,7 +238,7 @@ func (h *Hierarchy) checkEngineRestriction(tileID int, a mem.Addr, o accessOpts)
 	if !o.engine || h.registry == nil {
 		return
 	}
-	b, ok := h.registry.Binding(a)
+	b, ok := h.registry.Binding(tileID, a)
 	if !ok {
 		return
 	}

@@ -127,10 +127,12 @@ func FFSnapshot() FFView {
 // be nil. Classic-kernel baseline machines only.
 func (h *Hierarchy) EnableFastForward(budget uint64, auto bool, space *mem.Space) {
 	if h.sharded {
-		panic("hier: fast-forward requires the classic kernel (not sharded)")
+		panic("hier: -ff/-ff-auto with -sharded is unsupported (the analytical warmup replays one global " +
+			"access stream on the classic kernel); drop -sharded, or drop the fast-forward flags")
 	}
 	if h.registry != nil {
-		panic("hier: fast-forward supports baseline (NoTako) machines only")
+		panic("hier: -ff/-ff-auto on a täkō machine is unsupported (morph callbacks need the event kernel " +
+			"per access); fast-forward baseline (Config.NoTako) machines, or drop the fast-forward flags")
 	}
 	if budget == 0 {
 		if !auto {

@@ -93,8 +93,12 @@ type Binding struct {
 
 // Registry resolves addresses to Morph bindings. Implemented by the core
 // täkō package; a nil registry means no Morphs (baseline hierarchy).
+// Lookups name the tile doing the asking: on a sharded build the registry
+// is partitioned per tile (each shard reads only its own view, updated by
+// registration broadcast messages), so the tile parameter selects the
+// view whose contents are guaranteed visible to the calling shard.
 type Registry interface {
-	Binding(a mem.Addr) (Binding, bool)
+	Binding(tile int, a mem.Addr) (Binding, bool)
 }
 
 // Runner executes callbacks on a tile's engine. Implemented by the
@@ -308,6 +312,24 @@ type tile struct {
 	// Classic builds observe into Hierarchy.LoadLat directly.
 	loadLat stats.Dist
 
+	// cbInflight tracks eviction/writeback callbacks spawned on this
+	// tile's kernel, so flushes can block until they complete (§4.4).
+	// Per tile (rather than per hierarchy) because a WaitGroup is bound
+	// to one kernel: on a sharded build each tile's callbacks must be
+	// awaited from that tile's own shard.
+	cbInflight *sim.WaitGroup
+	// protectedFn is this tile's pre-bound victim-avoid hook (nil
+	// without a registry): it resolves §4.5 Protected predicates through
+	// the tile's own registry view.
+	protectedFn func(tag mem.Addr) bool
+	// phantomMissFills counts phantom fills served by callbacks instead
+	// of DRAM on this tile; summed into Hierarchy.PhantomMissFills.
+	phantomMissFills uint64
+	// slow is this tile's slow-access ring on a sharded build (attr.go):
+	// demand accesses finish on their issuing tile's shard, so per-tile
+	// rings need no locking and merge deterministically at run end.
+	slow slowRing
+
 	// Sharded-mode state (sharded.go); unused on a classic build.
 	//
 	// owned is the tile's local view of which lines it holds with write
@@ -347,12 +369,14 @@ type Hierarchy struct {
 	// fields, to resolve a line's directory.
 	dirs []dirTable
 
-	// cbInflight tracks all in-flight eviction/writeback callbacks so
-	// FlushRegion can block until every callback completes (§4.4).
-	cbInflight *sim.WaitGroup
-
-	// tracer records structured events when attached (nil = off).
+	// tracer records structured events when attached (nil = off). On a
+	// sharded build it is the merge target: each tile records into its
+	// own fork (tracers) and FinishStats merges the forks into tracer in
+	// canonical (cycle, shard, seq) order.
 	tracer *trace.Tracer
+	// tracers holds one tracer fork per tile on a sharded build (nil
+	// classically, and when tracing is off).
+	tracers []*trace.Tracer
 
 	// obs receives commit-point notifications (observer.go); nil = off.
 	obs Observer
@@ -373,16 +397,17 @@ type Hierarchy struct {
 	comp componentNames
 	// LoadLat records demand-load latencies from cores (Fig 17).
 	LoadLat stats.Dist
-	// Phantom DRAM-avoidance accounting.
+	// Phantom DRAM-avoidance accounting: counted per tile
+	// (tile.phantomMissFills) and summed here by PhantomFills /
+	// FinishStats.
 	PhantomMissFills uint64
 
 	// Pre-bound spawn bodies for the hot asynchronous paths (prefetch
-	// issue, writeback timing) and the victim-avoid hook: built once in
-	// New so Kernel.GoArgs / ChooseVictim sites don't allocate a closure
-	// per event.
-	prefetchFn  func(p *sim.Proc, a0, a1 uint64)
-	wbTimingFn  func(p *sim.Proc, a0, a1 uint64)
-	protectedFn func(tag mem.Addr) bool
+	// issue, writeback timing): built once in New so Kernel.GoArgs sites
+	// don't allocate a closure per event. The victim-avoid hook lives per
+	// tile (tile.protectedFn) so it reads the tile's own registry view.
+	prefetchFn func(p *sim.Proc, a0, a1 uint64)
+	wbTimingFn func(p *sim.Proc, a0, a1 uint64)
 
 	// attr is the armed latency-attribution state (attr.go); nil when
 	// Config.Attribution is off, so the hot path pays one pointer check.
@@ -418,17 +443,16 @@ func New(k *sim.Kernel, cfg Config, meter *energy.Meter, registry Registry, runn
 		newPolicy = func() cache.Policy { return cache.NewTRRIP() }
 	}
 	h := &Hierarchy{
-		K:          k,
-		Mesh:       noc.NewMesh(cfg.NoC, meter),
-		DRAM:       dram.New(k, cfg.DRAM, mem.NewMemory(), meter),
-		Meter:      meter,
-		cfg:        cfg,
-		registry:   registry,
-		runner:     runner,
-		cbInflight: sim.NewWaitGroup(k),
-		homeLog:    make(map[mem.Addr][]string),
-		Metrics:    stats.NewRegistry(),
-		comp:       newComponentNames(cfg.Tiles),
+		K:        k,
+		Mesh:     noc.NewMesh(cfg.NoC, meter),
+		DRAM:     dram.New(k, cfg.DRAM, mem.NewMemory(), meter),
+		Meter:    meter,
+		cfg:      cfg,
+		registry: registry,
+		runner:   runner,
+		homeLog:  make(map[mem.Addr][]string),
+		Metrics:  stats.NewRegistry(),
+		comp:     newComponentNames(cfg.Tiles),
 	}
 	h.hot.resolve(h.Metrics)
 	if cfg.Attribution {
@@ -446,12 +470,6 @@ func New(k *sim.Kernel, cfg Config, meter *energy.Meter, registry Registry, runn
 		t.wbbuf.Acquire(p)
 		p.Sleep(h.Mesh.Transfer(int(a0), int(a1), mem.LineSize))
 		t.wbbuf.Release()
-	}
-	if registry != nil {
-		h.protectedFn = func(tag mem.Addr) bool {
-			b, ok := h.registry.Binding(tag)
-			return ok && b.Protected != nil && b.Protected(tag)
-		}
 	}
 	// Probe-length distributions for the open-addressed tables (observed
 	// on insert): degraded hashing shows up here before it shows up in
@@ -494,6 +512,7 @@ func (h *Hierarchy) buildTile(k *sim.Kernel, i int, newPolicy func() cache.Polic
 		wbbuf:       sim.NewSemaphore(k, cfg.WBBufPerTile),
 		rmo:         sim.NewSemaphore(k, max(cfg.RMOLimit, 1)),
 		rmoInflight: sim.NewWaitGroup(k),
+		cbInflight:  sim.NewWaitGroup(k),
 		rtlb:        tlb.New(cfg.RTLB),
 		// 2 MB pages: täkō's phantom ranges make huge pages
 		// easy (§6), and the workloads assume them throughout.
@@ -507,6 +526,15 @@ func (h *Hierarchy) buildTile(k *sim.Kernel, i int, newPolicy func() cache.Polic
 	t.l3Busy = func(tag mem.Addr) bool { return t.l3pending.locked(tag) }
 	t.pending.tbl.SetProbeStats(mshrProbes)
 	t.l3pending.tbl.SetProbeStats(homeProbes)
+	if h.registry != nil {
+		t.protectedFn = func(tag mem.Addr) bool {
+			b, ok := h.registry.Binding(t.id, tag)
+			return ok && b.Protected != nil && b.Protected(tag)
+		}
+	}
+	if h.sharded && h.attr != nil {
+		t.slow.k = h.attr.ring.k
+	}
 	return t
 }
 
@@ -592,16 +620,84 @@ func (h *Hierarchy) DRAMAccesses() uint64 {
 	return total
 }
 
+// SetDRAMPhase labels subsequent DRAM accesses for per-phase breakdowns
+// (Figs 14 and 17). Classically — or before the run starts, p == nil —
+// it flips every controller directly. On a running sharded build each
+// controller is owned by its home shard, so the flip ships to each home
+// on the calling shard's ordered channels; attribution around the flip
+// point stays deterministic at any worker count.
+func (h *Hierarchy) SetDRAMPhase(p *sim.Proc, name string) {
+	if !h.sharded || p == nil {
+		if h.drams == nil {
+			h.DRAM.SetPhase(name)
+			return
+		}
+		for _, d := range h.drams {
+			d.SetPhase(name)
+		}
+		return
+	}
+	t := h.tiles[h.eng.ShardOf(p.Kernel())]
+	for home := 0; home < h.cfg.Tiles; home++ {
+		if home == t.id {
+			h.dramAt(home).SetPhase(name)
+			continue
+		}
+		d := h.dramAt(home)
+		h.sendOrdered(t, home, h.Mesh.Latency(t.id, home, 8), func() { d.SetPhase(name) })
+	}
+}
+
+// DRAMPhaseAccesses merges the per-phase access counts across controller
+// instances (one classically, one per home on a sharded build).
+func (h *Hierarchy) DRAMPhaseAccesses() map[string]uint64 {
+	out := make(map[string]uint64, len(h.DRAM.PhaseAccesses))
+	if h.drams == nil {
+		for k, v := range h.DRAM.PhaseAccesses {
+			out[k] = v
+		}
+		return out
+	}
+	for _, d := range h.drams {
+		for k, v := range d.PhaseAccesses {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// MarkNVM declares r non-volatile memory on every DRAM controller
+// instance; call during setup, before the run starts.
+func (h *Hierarchy) MarkNVM(r mem.Region) {
+	if h.drams == nil {
+		h.DRAM.MarkNVM(r)
+		return
+	}
+	for _, d := range h.drams {
+		d.MarkNVM(r)
+	}
+}
+
 // hasExclusiveT is the tile-local form of hasExclusive: classically it
 // peeks at the shared directory; sharded, a remote tile cannot, so it
 // consults the tile's owned table (maintained by write grants and
-// invalidation handlers). The classic nil-entry→true case (untracked
-// private phantom lines) cannot arise without morphs, which sharded
-// builds reject.
+// invalidation handlers). Lines bound to a PRIVATE-level phantom Morph
+// never enter the directory — they are filled by the tile's own engine
+// and discarded on eviction (§4.3) — so they are implicitly writable,
+// mirroring the classic missing-entry→exclusive rule; without that case
+// a store to a phantom line would request an upgrade the home can never
+// grant.
 func (h *Hierarchy) hasExclusiveT(t *tile, la mem.Addr) bool {
 	if h.sharded {
-		_, ok := t.owned.Get(uint64(la))
-		return ok
+		if _, ok := t.owned.Get(uint64(la)); ok {
+			return true
+		}
+		if h.registry != nil {
+			if b, ok := h.registry.Binding(t.id, la); ok && b.Phantom && b.Level == LevelPrivate {
+				return true
+			}
+		}
+		return false
 	}
 	return h.hasExclusive(t.id, la)
 }
@@ -633,20 +729,60 @@ func (h *Hierarchy) CheckMorphInvariants() error {
 
 // AttachTracer wires a structured event tracer into the hierarchy (and
 // its DRAM, whose controllers emit transfer spans); nil disables tracing.
+// On a sharded build the tracer is forked per tile — each shard records
+// into its own unsynchronized buffer — and FinishStats merges the forks
+// back into t in canonical (cycle, shard, seq) order, so traced sharded
+// runs stay byte-identical at any worker count.
 func (h *Hierarchy) AttachTracer(t *trace.Tracer) {
-	if h.sharded && t != nil {
-		// The tracer records from every commit path with a single
-		// unsynchronized buffer, and its spans read h.K.
-		panic("hier: tracing is not supported on a sharded hierarchy")
-	}
 	h.tracer = t
+	if h.sharded {
+		h.tracers = nil
+		if t != nil {
+			h.tracers = t.Fork(h.cfg.Tiles)
+			for i, d := range h.drams {
+				d.AttachTracer(h.tracers[i])
+			}
+		} else {
+			for _, d := range h.drams {
+				d.AttachTracer(nil)
+			}
+		}
+		return
+	}
 	h.DRAM.AttachTracer(t)
 }
 
-// Trace emits a trace event (no-op without an attached tracer).
-func (h *Hierarchy) Trace(component, kind, detail string) {
-	if h.tracer == nil {
+// tracerAt returns the tracer a path running on tile's kernel must
+// record into: the tile's fork on a sharded build, the shared tracer
+// classically. Nil when tracing is off.
+func (h *Hierarchy) tracerAt(tile int) *trace.Tracer {
+	if h.tracers != nil {
+		return h.tracers[tile]
+	}
+	return h.tracer
+}
+
+// TracerAt exposes tracerAt for the engine package, whose callback spans
+// must land in the executing tile's buffer.
+func (h *Hierarchy) TracerAt(tile int) *trace.Tracer { return h.tracerAt(tile) }
+
+// TraceAt emits a trace event on tile's track, stamped with tile's own
+// clock (no-op without an attached tracer).
+func (h *Hierarchy) TraceAt(tile int, component, kind, detail string) {
+	tr := h.tracerAt(tile)
+	if tr == nil {
 		return
 	}
-	h.tracer.Emit(h.K.Now(), component, kind, detail)
+	tr.Emit(uint64(h.tiles[tile].K.Now()), component, kind, detail)
+}
+
+// PhantomFills sums the per-tile phantom-fill counters (callback fills
+// that avoided DRAM) and refreshes the public PhantomMissFills field.
+func (h *Hierarchy) PhantomFills() uint64 {
+	var total uint64
+	for _, t := range h.tiles {
+		total += t.phantomMissFills
+	}
+	h.PhantomMissFills = total
+	return total
 }

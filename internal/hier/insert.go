@@ -39,7 +39,7 @@ func (h *Hierarchy) insertL2(tileID int, a mem.Addr, data *mem.Line, meta fillMe
 	// hints (the onReplacement extension) are honored when possible.
 	constraint := cache.VictimConstraint{
 		CallbackFree: t.wbbuf.Saturated(),
-		Avoid:        h.protectedHint(),
+		Avoid:        h.protectedHint(tileID),
 	}
 	way, ok := t.l2.ChooseVictimForInsert(a, opts, constraint)
 	if !ok {
@@ -74,7 +74,7 @@ func (h *Hierarchy) handleL2Eviction(tileID int, ev cache.LineState, futs *[]*si
 		}
 	}
 	if ev.Morph && h.registry != nil {
-		if b, ok := h.registry.Binding(la); ok {
+		if b, ok := h.registry.Binding(tileID, la); ok {
 			h.morphEvictPrivate(tileID, ev, b, futs)
 			return
 		}
@@ -115,15 +115,20 @@ func (h *Hierarchy) morphEvictPrivate(tileID int, ev cache.LineState, b Binding,
 		return
 	}
 	h.hot.cb[kind].Inc()
-	h.Trace(h.comp.l2[tileID], "cb."+kind.String(), la.String())
-	lock := sim.NewFuture(h.K)
+	if h.tracer != nil {
+		h.TraceAt(tileID, h.comp.l2[tileID], "cb."+kind.String(), la.String())
+	}
+	// The callback proc, its lock future, and the inflight group all live
+	// on the tile's own kernel, so the whole eviction callback is
+	// shard-local work on a sharded build.
+	lock := sim.NewFuture(t.K)
 	tok := t.pending.lockWith(la, lock)
 	if futs != nil {
 		*futs = append(*futs, lock)
 	}
 	data := ev.Data
-	h.cbInflight.Add(1)
-	h.K.Go(fmt.Sprintf("evict-cb@%d", tileID), func(p *sim.Proc) {
+	t.cbInflight.Add(1)
+	t.K.Go(fmt.Sprintf("evict-cb@%d", tileID), func(p *sim.Proc) {
 		t.wbbuf.Acquire(p)
 		accepted, done := h.runner.Run(tileID, kind, b, la, &data)
 		p.Wait(accepted)
@@ -131,7 +136,7 @@ func (h *Hierarchy) morphEvictPrivate(tileID int, ev cache.LineState, b Binding,
 		p.Wait(done)
 		t.pending.unlock(la, tok)
 		lock.Complete()
-		h.cbInflight.Done()
+		t.cbInflight.Done()
 	})
 }
 
@@ -184,7 +189,7 @@ func (h *Hierarchy) insertL3(p *sim.Proc, homeID int, a mem.Addr, data *mem.Line
 	opts := meta.opts()
 	constraint := cache.VictimConstraint{
 		CallbackFree: hm.wbbuf.Saturated(),
-		Avoid:        h.protectedHint(),
+		Avoid:        h.protectedHint(homeID),
 		Busy:         hm.l3Busy,
 	}
 	way, ok := hm.l3.ChooseVictimForInsert(a, opts, constraint)
@@ -242,7 +247,7 @@ func (h *Hierarchy) handleL3Eviction(p *sim.Proc, homeID int, ev cache.LineState
 		h.dirT(la).delete(la)
 	}
 	if ev.Morph && h.registry != nil {
-		if b, ok := h.registry.Binding(la); ok {
+		if b, ok := h.registry.Binding(homeID, la); ok {
 			h.morphEvictShared(homeID, ev, b, futs)
 			return
 		}
@@ -266,15 +271,18 @@ func (h *Hierarchy) morphEvictShared(homeID int, ev cache.LineState, b Binding, 
 		kind, has = CbWriteback, b.HasWriteback
 	}
 	if !b.Phantom && ev.Dirty {
-		h.DRAM.WriteLineNoWait(la, &ev.Data)
+		h.dramAt(homeID).WriteLineNoWait(la, &ev.Data)
 	}
 	if !has || h.runner == nil {
 		h.hot.cbSkipped.Inc()
 		return
 	}
 	h.hot.cb[kind].Inc()
-	h.Trace(h.comp.l3[homeID], "cb."+kind.String(), la.String())
-	lock := sim.NewFuture(h.K)
+	if h.tracer != nil {
+		h.TraceAt(homeID, h.comp.l3[homeID], "cb."+kind.String(), la.String())
+	}
+	// Home-side callback machinery lives on the home tile's kernel.
+	lock := sim.NewFuture(hm.K)
 	if futs != nil {
 		*futs = append(*futs, lock)
 	}
@@ -289,8 +297,8 @@ func (h *Hierarchy) morphEvictShared(homeID int, ev cache.LineState, b Binding, 
 	if locked {
 		tok = hm.l3pending.lockWith(la, lock)
 	}
-	h.cbInflight.Add(1)
-	h.K.Go(fmt.Sprintf("l3evict-cb@%d", homeID), func(p *sim.Proc) {
+	hm.cbInflight.Add(1)
+	hm.K.Go(fmt.Sprintf("l3evict-cb@%d", homeID), func(p *sim.Proc) {
 		if !locked {
 			// An in-flight home-side operation held the line at
 			// eviction time; queue politely behind it rather than
@@ -306,7 +314,7 @@ func (h *Hierarchy) morphEvictShared(homeID int, ev cache.LineState, b Binding, 
 		p.Wait(done)
 		hm.l3pending.mustUnlock(la, tok)
 		lock.Complete()
-		h.cbInflight.Done()
+		hm.cbInflight.Done()
 	})
 }
 
@@ -354,10 +362,10 @@ func (h *Hierarchy) fillTop(tileID int, a mem.Addr, data *mem.Line, meta fillMet
 	}
 }
 
-// protectedHint returns the victim-selection Avoid hook from Morph
+// protectedHint returns tile's victim-selection Avoid hook from Morph
 // replacement hints (the onReplacement extension, §4.5) — pre-built in
-// New, nil when no registry is attached — so insert paths don't allocate
-// a closure per fill.
-func (h *Hierarchy) protectedHint() func(mem.Addr) bool {
-	return h.protectedFn
+// buildTile against the tile's own registry view, nil when no registry
+// is attached — so insert paths don't allocate a closure per fill.
+func (h *Hierarchy) protectedHint(tile int) func(mem.Addr) bool {
+	return h.tiles[tile].protectedFn
 }

@@ -108,7 +108,7 @@ func (h *Hierarchy) checkMorphBits(t *tile) error {
 					c.Config().Name, l.Tag)
 				return
 			}
-			b, ok := h.registry.Binding(l.Tag)
+			b, ok := h.registry.Binding(t.id, l.Tag)
 			if !ok {
 				err = fmt.Errorf("hier: %s line %v has Morph/Phantom bits with no live binding",
 					c.Config().Name, l.Tag)
@@ -201,7 +201,7 @@ func (h *Hierarchy) checkDirectory(strictFresh bool) error {
 					return
 				}
 				if h.registry != nil {
-					if b, ok := h.registry.Binding(l.Tag); ok && b.Level == LevelPrivate && b.Phantom {
+					if b, ok := h.registry.Binding(tid, l.Tag); ok && b.Level == LevelPrivate && b.Phantom {
 						return
 					}
 				}

@@ -188,6 +188,12 @@ func (h *Hierarchy) runHomeTxn(p *sim.Proc, hm *tile, req *homeReq) {
 	x.tileID, x.a, x.la, x.o = req.tile, req.a, req.a.Line(), req.o
 	x.home, x.hm = hm.id, hm
 	x.op, x.val = req.op, req.val
+	if req.kind == kindHomeFetch {
+		// Home-side span bookkeeping, mirroring fetchFromHome: the span
+		// covers arrival to unlock and is re-labeled by the miss path.
+		x.homeStart, x.spanKind = p.Now(), "l3.hit"
+		x.tracing = h.tracer != nil
+	}
 	if req.kind == kindNTStore {
 		x.ext = &req.ext
 	}
@@ -710,8 +716,20 @@ func (t *tile) putInvs(s []invReply) {
 func (h *Hierarchy) backInvalSharded(p *sim.Proc, homeID int, ev *cache.LineState) {
 	la := ev.Tag
 	hm := h.tiles[homeID]
+	var b Binding
+	morph := false
+	if ev.Morph && h.registry != nil {
+		b, morph = h.registry.Binding(homeID, la)
+	}
+	if ev.Phantom && !morph {
+		panic(fmt.Sprintf("hier: phantom line %v in L3 with no Morph bound", la))
+	}
 	e := h.dirT(la).get(la)
 	if e == nil {
+		if morph {
+			h.morphEvictShared(homeID, *ev, b, nil)
+			return
+		}
 		if ev.Dirty {
 			h.hot.l3Writebacks.Inc()
 			h.dramAt(homeID).WriteLineNoWait(la, &ev.Data)
@@ -720,7 +738,7 @@ func (h *Hierarchy) backInvalSharded(p *sim.Proc, homeID int, ev *cache.LineStat
 	}
 	tok := hm.l3pending.lock(la)
 	anyDirty := false
-	if ev.Dirty {
+	if ev.Dirty && !morph {
 		h.hot.l3Writebacks.Inc()
 		h.dramAt(homeID).WriteLineNoWait(la, &ev.Data)
 	}
@@ -741,6 +759,14 @@ func (h *Hierarchy) backInvalSharded(p *sim.Proc, homeID int, ev *cache.LineStat
 	waitInvals(p, invs)
 	for i := range invs {
 		if r := &invs[i]; r.present && r.dirty {
+			if morph {
+				// A recalled dirty copy is newer than the evicted L3 data;
+				// hand it to the callback (and the non-phantom writeback
+				// inside morphEvictShared) instead of DRAM directly.
+				ev.Data = r.data
+				ev.Dirty = true
+				continue
+			}
 			if !ev.Dirty && !anyDirty {
 				h.hot.l3Writebacks.Inc()
 			}
@@ -752,30 +778,35 @@ func (h *Hierarchy) backInvalSharded(p *sim.Proc, homeID int, ev *cache.LineStat
 		h.dirT(la).delete(la)
 	}
 	hm.putInvs(invs)
+	if morph {
+		// Spawn the callback before releasing the home-line lock so its
+		// proc queues first: a racing fetch cannot re-materialize the line
+		// (and accept stores) ahead of the eviction/writeback callback.
+		h.morphEvictShared(homeID, *ev, b, nil)
+	}
 	h.completeLock(hm.K, hm.l3pending.mustUnlock(la, tok))
 }
 
 // ---- construction and lifecycle ----
 
 // NewSharded builds a hierarchy hosted on a sim.Sharded engine, one tile
-// per shard. It supports the baseline (no-täkō) hierarchy only: Morph
-// callbacks and engine runners reach across tiles synchronously in ways
-// the message protocol does not model, and the verification hooks that
-// peek at remote state (fresh checks, tracers, observers) are rejected
+// per shard. täkō machines are fully supported: the registry must be
+// partitioned per tile (hier.Registry's tile parameter selects the
+// shard-local view) and the runner must schedule each callback on its
+// tile's own shard kernel (engine.NewSharded does). The verification
+// hooks that peek at remote state mid-epoch (fresh checks) are rejected
 // in favor of epoch-barrier invariant checking (InstallBarrierChecks).
 func NewSharded(eng *sim.Sharded, cfg Config, meter *energy.Meter, registry Registry, runner Runner) *Hierarchy {
 	if cfg.Tiles <= 0 {
 		panic("hier: need at least one tile")
-	}
-	if registry != nil || runner != nil {
-		panic("hier: sharded build supports the baseline hierarchy only (no Morph registry or runner)")
 	}
 	if eng.Shards() != cfg.Tiles {
 		panic(fmt.Sprintf("hier: sharded build needs one shard per tile (%d shards, %d tiles)",
 			eng.Shards(), cfg.Tiles))
 	}
 	if cfg.FreshChecks {
-		panic("hier: fresh checks read remote tiles mid-epoch; use SelfCheckEvery (barrier checks) on sharded builds")
+		panic("hier: -sharded with -verify fresh checks is unsupported (per-access freshness assertions read " +
+			"remote tiles mid-epoch); drop -sharded, or use SelfCheckEvery (epoch-barrier invariant checks) instead")
 	}
 	newPolicy := cfg.NewPolicy
 	if newPolicy == nil {
@@ -796,27 +827,24 @@ func NewSharded(eng *sim.Sharded, cfg Config, meter *energy.Meter, registry Regi
 	reg := stats.NewRegistry()
 	reg.SetConcurrent()
 	h := &Hierarchy{
-		K:          nil, // every path must use a tile kernel or the running proc's
-		Mesh:       mesh,
-		Meter:      meter,
-		cfg:        cfg,
-		cbInflight: sim.NewWaitGroup(eng.Shard(0).K),
-		homeLog:    make(map[mem.Addr][]string),
-		Metrics:    reg,
-		comp:       newComponentNames(cfg.Tiles),
-		sharded:    true,
-		eng:        eng,
+		K:        nil, // every path must use a tile kernel or the running proc's
+		Mesh:     mesh,
+		Meter:    meter,
+		cfg:      cfg,
+		registry: registry,
+		runner:   runner,
+		homeLog:  make(map[mem.Addr][]string),
+		Metrics:  reg,
+		comp:     newComponentNames(cfg.Tiles),
+		sharded:  true,
+		eng:      eng,
 	}
 	h.hot.resolve(reg)
 	if cfg.Attribution {
-		if cfg.SlowestK > 0 {
-			// The top-K slow ring is a single sorted slice fed from every
-			// commit path; on a sharded build those run on every shard
-			// concurrently. The dwell/total histograms are commutative
-			// atomics and work fine — only the ring is rejected.
-			panic("hier: SlowestK is not supported on a sharded build (attribution histograms are)")
-		}
-		h.attr = newTxnAttr(reg, 0)
+		// The dwell/total histograms are commutative atomics; the SlowestK
+		// ring is kept per tile (tile.slow) and merged deterministically in
+		// SlowestAccesses, so both arms work sharded.
+		h.attr = newTxnAttr(reg, cfg.SlowestK)
 	}
 	h.Mesh.AttachMetrics(reg)
 	h.prefetchFn = func(p *sim.Proc, a0, a1 uint64) {
@@ -895,5 +923,11 @@ func (h *Hierarchy) FinishStats() {
 	for _, t := range h.tiles {
 		h.LoadLat.Merge(&t.loadLat)
 		t.loadLat = stats.Dist{}
+	}
+	h.PhantomFills()
+	if h.tracer != nil && h.tracers != nil {
+		// Fold the per-shard trace forks into the attached tracer in
+		// canonical (cycle, shard, emit-order) order.
+		h.tracer.Merge(h.tracers)
 	}
 }

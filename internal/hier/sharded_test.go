@@ -1,6 +1,7 @@
 package hier
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -204,16 +205,56 @@ func TestShardedAttributionConservation(t *testing.T) {
 	}
 }
 
-// TestShardedSlowestKRejected pins the construction guard: the top-K
-// slow-access ring is single-threaded and must be refused on a sharded
-// build (the attribution histograms themselves are fine).
-func TestShardedSlowestKRejected(t *testing.T) {
-	cfg := ScaledConfig(2, 64)
-	cfg.FreshChecks = false
-	cfg.Attribution = true
-	cfg.SlowestK = 4
-	m := noc.NewMesh(cfg.NoC, nil)
-	mustPanic(t, "NewSharded with SlowestK", func() {
-		NewSharded(sim.NewSharded(2, m.MinCrossTileLatency()), cfg, energy.NewMeter(), nil, nil)
-	})
+// TestShardedSlowestKCapture pins the sharded slow-access capture: each
+// tile offers its demand accesses into its own top-K ring, and
+// SlowestAccesses merges the rings into one global top K — slowest
+// first, byte-identical at any worker count.
+func TestShardedSlowestKCapture(t *testing.T) {
+	run := func(workers int) []SlowAccess {
+		const tiles = 4
+		cfg := DefaultConfig(tiles)
+		cfg.FreshChecks = false
+		cfg.Attribution = true
+		cfg.SlowestK = 6
+		eng, h := newShardedH(cfg)
+		for i := 0; i < tiles; i++ {
+			i := i
+			eng.Shard(i).K.Go("core", func(p *sim.Proc) {
+				for j := 0; j < 8; j++ {
+					// Own stripe then the neighbor's: a mix of local and
+					// cross-tile miss latencies to rank.
+					h.Load(p, i, mem.Addr(0x100000*(i+1)+j*64))
+					h.Load(p, i, mem.Addr(0x100000*((i+1)%tiles+1)+j*64))
+				}
+			})
+		}
+		eng.Run(workers)
+		if blocked := eng.Blocked(); len(blocked) > 0 {
+			t.Fatalf("workers=%d deadlocked: %v", workers, blocked)
+		}
+		h.FinishStats()
+		eng.Release()
+		return h.SlowestAccesses()
+	}
+	got := run(1)
+	if len(got) != 6 {
+		t.Fatalf("captured %d slow accesses, want 6", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Latency > got[i-1].Latency {
+			t.Fatalf("entry %d (%d cyc) slower than entry %d (%d cyc): not sorted slowest-first",
+				i, got[i].Latency, i-1, got[i-1].Latency)
+		}
+	}
+	for _, workers := range []int{2, 4} {
+		other := run(workers)
+		if len(other) != len(got) {
+			t.Fatalf("workers=%d captured %d entries, workers=1 captured %d", workers, len(other), len(got))
+		}
+		for i := range got {
+			if fmt.Sprintf("%+v", got[i]) != fmt.Sprintf("%+v", other[i]) {
+				t.Fatalf("workers=%d entry %d = %+v, workers=1 entry = %+v", workers, i, other[i], got[i])
+			}
+		}
+	}
 }

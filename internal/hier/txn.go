@@ -414,14 +414,14 @@ func (t *txn) stepMissAlloc() {
 func (t *txn) stepFetch() {
 	h := t.h
 	if h.registry != nil {
-		if b, ok := h.registry.Binding(t.a); ok && b.Level == LevelPrivate {
+		if b, ok := h.registry.Binding(t.tileID, t.a); ok && b.Level == LevelPrivate {
 			if !b.Phantom {
 				// Real-address Morph: read backing data (the paper
 				// overlaps this with the callback; we serialize, see
 				// DESIGN.md).
 				t.fetchFromHome()
 			} else {
-				h.PhantomMissFills++
+				t.t.phantomMissFills++
 			}
 			t.meta = fillMeta{morph: true, phantom: b.Phantom, dirty: t.o.write}
 			if b.HasMiss && h.runner != nil {
@@ -460,12 +460,16 @@ func (t *txn) stepCbPending() {
 	h.hot.cb[CbMiss].Inc()
 	switch t.kind {
 	case kindAccess:
-		h.Trace(h.comp.l2[t.tileID], "cb.onMiss", t.la.String())
+		if h.tracer != nil {
+			h.TraceAt(t.tileID, h.comp.l2[t.tileID], "cb.onMiss", t.la.String())
+		}
 		_, done := h.runner.Run(t.tileID, CbMiss, t.cb, t.la, &t.data)
 		p.Wait(done)
 		t.to(txnFill)
 	case kindHomeFetch:
-		h.Trace(h.comp.l3[t.home], "cb.onMiss", t.la.String())
+		if h.tracer != nil {
+			h.TraceAt(t.home, h.comp.l3[t.home], "cb.onMiss", t.la.String())
+		}
 		_, done := h.runner.Run(t.home, CbMiss, t.cb, t.la, &t.data)
 		p.Wait(done)
 		t.to(txnHomeFill)
@@ -480,7 +484,7 @@ func (t *txn) stepCbPending() {
 func (t *txn) stepFill() {
 	h, p := t.h, t.p
 	if h.tracer != nil {
-		h.tracer.EmitSpan(t.fetchStart, p.Now(), h.comp.l2[t.tileID], "l2.miss", t.la.String())
+		h.tracerAt(t.tileID).EmitSpan(t.fetchStart, p.Now(), h.comp.l2[t.tileID], "l2.miss", t.la.String())
 	}
 	t.meta.engine = t.o.engine
 	// Everything except private phantom lines went through the home
@@ -638,9 +642,9 @@ func (t *txn) stepHomeFetch() {
 		t.meta = fillMeta{}
 	}
 	if h.registry != nil {
-		if b, ok := h.registry.Binding(t.a); ok && b.Level == LevelShared {
+		if b, ok := h.registry.Binding(t.home, t.a); ok && b.Level == LevelShared {
 			if b.Phantom {
-				h.PhantomMissFills++
+				t.hm.phantomMissFills++
 			} else {
 				h.dramAt(t.home).ReadLineWait(p, t.la, &t.data)
 			}
@@ -988,7 +992,7 @@ func (t *txn) stepUnlock() {
 		// One span per home-bank service on the bank's track: request
 		// arrival through data response (covers queueing on the home
 		// line, DRAM fills, and SHARED callbacks).
-		h.tracer.EmitSpan(t.homeStart, p.Now(), h.comp.l3[t.home], t.spanKind, t.la.String())
+		h.tracerAt(t.home).EmitSpan(t.homeStart, p.Now(), h.comp.l3[t.home], t.spanKind, t.la.String())
 	}
 	t.to(txnDone)
 }

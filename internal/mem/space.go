@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Region is a named, contiguous address range. Phantom regions are not
 // backed by memory: their contents exist only in caches and are defined
@@ -45,15 +48,27 @@ func (r Region) String() string {
 // Real regions grow upward from lowBase; phantom regions grow downward
 // from the top of a dedicated phantom window, mirroring how täkō's OS
 // support tracks phantom ranges separately from the page table (§6).
+// The allocator is safe for concurrent use: registrations on a sharded
+// machine allocate phantom ranges from different shards, and the striped
+// per-tile phantom windows (AllocPhantomAt) keep the handed-out
+// addresses independent of the allocation order, so concurrent
+// registrations stay deterministic.
 type Space struct {
+	mu          sync.Mutex
 	nextReal    Addr
 	nextPhantom Addr
+	tilePhantom map[int]Addr // per-tile phantom cursors (AllocPhantomAt)
 	regions     []Region
 }
 
 const (
 	realBase    Addr = 0x0001_0000
 	phantomBase Addr = 0x4000_0000_0000 // 64 TB: far from any real data
+	// tileStripe is the size of each tile's private phantom window:
+	// stripe t starts at phantomBase + (t+1)*tileStripe, above the shared
+	// bump window at phantomBase, so per-tile and shared phantom
+	// allocations never collide.
+	tileStripe Addr = 1 << 40
 )
 
 // NewSpace returns an empty address-space allocator.
@@ -71,6 +86,8 @@ func (s *Space) Alloc(name string, size uint64) Region {
 	if size == 0 {
 		panic("mem: zero-size allocation")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	base := alignUp(s.nextReal, PageSize)
 	r := Region{Name: name, Base: base, Size: size}
 	s.nextReal = base + Addr(size)
@@ -84,9 +101,46 @@ func (s *Space) AllocPhantom(name string, size uint64) Region {
 	if size == 0 {
 		panic("mem: zero-size phantom allocation")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	base := alignUp(s.nextPhantom, PageSize)
 	r := Region{Name: name, Base: base, Size: size, Phantom: true}
 	s.nextPhantom = base + Addr(size)
+	s.regions = append(s.regions, r)
+	return r
+}
+
+// AllocPhantomAt reserves a phantom region inside tile's private phantom
+// stripe. Each tile bump-allocates from its own window, so the address a
+// registration receives depends only on that tile's own allocation
+// history — never on how concurrent registrations on other tiles
+// interleave in real time. Sharded machines route phantom registration
+// through this form to stay byte-identical at any worker count.
+func (s *Space) AllocPhantomAt(tile int, name string, size uint64) Region {
+	if size == 0 {
+		panic("mem: zero-size phantom allocation")
+	}
+	if tile < 0 {
+		panic("mem: negative tile for phantom stripe")
+	}
+	if Addr(size) > tileStripe {
+		panic(fmt.Sprintf("mem: phantom allocation %q (%d bytes) exceeds the per-tile stripe", name, size))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tilePhantom == nil {
+		s.tilePhantom = make(map[int]Addr)
+	}
+	cur, ok := s.tilePhantom[tile]
+	if !ok {
+		cur = phantomBase + Addr(tile+1)*tileStripe
+	}
+	base := alignUp(cur, PageSize)
+	if base+Addr(size) > phantomBase+Addr(tile+2)*tileStripe {
+		panic(fmt.Sprintf("mem: tile %d phantom stripe exhausted", tile))
+	}
+	r := Region{Name: name, Base: base, Size: size, Phantom: true}
+	s.tilePhantom[tile] = base + Addr(size)
 	s.regions = append(s.regions, r)
 	return r
 }
@@ -96,6 +150,8 @@ func (s *Space) AllocPhantom(name string, size uint64) Region {
 // unregister's semantics of de-allocating the phantom range without
 // recycling it within a run).
 func (s *Space) Free(r Region) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := range s.regions {
 		if s.regions[i].Base == r.Base {
 			s.regions = append(s.regions[:i], s.regions[i+1:]...)
@@ -106,6 +162,8 @@ func (s *Space) Free(r Region) {
 
 // FindRegion returns the region containing a, if any.
 func (s *Space) FindRegion(a Addr) (Region, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, r := range s.regions {
 		if r.Contains(a) {
 			return r, true
@@ -122,6 +180,8 @@ func (s *Space) IsPhantom(a Addr) bool {
 
 // Regions returns a snapshot of all live regions.
 func (s *Space) Regions() []Region {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]Region, len(s.regions))
 	copy(out, s.regions)
 	return out

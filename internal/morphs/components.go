@@ -83,7 +83,6 @@ func RunCC(v CCVariant, prm CCParams) (Result, error) {
 	cfg := system.Scaled(prm.Tiles, prm.CacheScale)
 	if v == CCBaseline {
 		cfg.NoTako = true
-		cfg.ShardUnsafe = true // threads synchronize through sim.Barriers on s.K
 	}
 	s := system.New(cfg)
 
@@ -128,7 +127,7 @@ func RunCC(v CCVariant, prm CCParams) (Result, error) {
 	case CCBaseline:
 		// next[] accumulates minima with local atomics.
 		next := s.Alloc("cc.next", uint64(prm.V)*8)
-		bar := sim.NewBarrier(s.K, threads)
+		bar := s.Barrier(threads)
 		for t := 0; t < threads; t++ {
 			t := t
 			s.Go(t, "cc-base", func(p *sim.Proc, c *cpu.Core) {
@@ -185,7 +184,7 @@ func RunCC(v CCVariant, prm CCParams) (Result, error) {
 			NewView: func(tile int) interface{} { return &ccView{} },
 		}
 		next := s.Alloc("cc.next", uint64(prm.V)*8)
-		bar := sim.NewBarrier(s.K, threads)
+		bar := s.Barrier(threads)
 		for t := 0; t < threads; t++ {
 			t := t
 			s.Go(t, "cc-tako", func(p *sim.Proc, c *cpu.Core) {
@@ -196,24 +195,24 @@ func RunCC(v CCVariant, prm CCParams) (Result, error) {
 					m, err := s.Tako.RegisterPhantom(p, spec, core.Shared, uint64(prm.V)*8, 0)
 					if err != nil {
 						runErr = err
-						return
+					} else {
+						for i := 0; i < s.H.Tiles(); i++ {
+							vw := m.View(i).(*ccView)
+							vw.base = m.Region.Base
+							vw.next = next
+						}
+						morph = m
 					}
-					for i := 0; i < s.H.Tiles(); i++ {
-						vw := m.View(i).(*ccView)
-						vw.base = m.Region.Base
-						vw.next = next
-					}
-					morph = m
-				} else {
-					for morph == nil && runErr == nil {
-						p.Sleep(100)
-					}
-				}
-				if runErr != nil {
-					return
 				}
 				for r := 0; r < prm.Rounds; r++ {
+					// The round-opening barrier doubles as the publish
+					// edge for morph/runErr, replacing the classic
+					// clock-poll loop (which has no deterministic sharded
+					// equivalent).
 					bar.Arrive(p)
+					if runErr != nil {
+						return
+					}
 					edgeLoop(p, c, t, func(p *sim.Proc, c *cpu.Core, dst int, label uint64) {
 						c.AtomicRMO(p, morph.Region.Word(uint64(dst)), hier.RMOMin, label)
 					})

@@ -82,7 +82,6 @@ func runNVM(v NVMVariant, prm NVMParams) (Result, error) {
 	cfg.Engine = prm.Engine
 	if v == NVMBaseline {
 		cfg.NoTako = true
-		cfg.ShardUnsafe = true // the crash harness needs the global clock (RunUntil)
 	}
 	if v == NVMIdeal {
 		cfg.Engine = engine.IdealConfig()
@@ -98,8 +97,8 @@ func runNVM(v NVMVariant, prm NVMParams) (Result, error) {
 	journal := s.Alloc("nvm.journal", uint64(totalWords)*8+uint64(lines)*8+8192)
 	tagBase := journal.Base
 	lineBase := (journal.Base + mem.Addr(lines*8) + 63) &^ 63
-	s.H.DRAM.MarkNVM(data)
-	s.H.DRAM.MarkNVM(journal)
+	s.H.MarkNVM(data)
+	s.H.MarkNVM(journal)
 
 	// Expected contents: word i of txn t = payload(t, i).
 	payload := func(t, i int) uint64 { return uint64(t)<<32 | uint64(i) | 1<<63 }
@@ -264,8 +263,8 @@ func RunNVMCrash(prm NVMParams, crashAt sim.Cycle) (committed int, err error) {
 	journal := s.Alloc("nvm.journal", uint64(totalWords)*8+uint64(lines)*8+8192)
 	tagBase := journal.Base
 	lineBase := (journal.Base + mem.Addr(lines*8) + 63) &^ 63
-	s.H.DRAM.MarkNVM(data)
-	s.H.DRAM.MarkNVM(journal)
+	s.H.MarkNVM(data)
+	s.H.MarkNVM(journal)
 	payload := func(t, i int) uint64 { return uint64(t)<<32 | uint64(i) | 1<<63 }
 
 	committedCount := 0
@@ -320,7 +319,7 @@ func RunNVMCrash(prm NVMParams, crashAt sim.Cycle) (committed int, err error) {
 	})
 
 	// Crash: stop the machine at crashAt.
-	s.K.RunUntil(crashAt)
+	s.RunUntil(crashAt)
 
 	// Recovery check (eADR: caches are durable, so DebugReadWord sees
 	// the persistence domain): committed transactions must be intact.

@@ -73,8 +73,9 @@ func DefaultPHIParams() PHIParams {
 // phiHierView is the engine-local state of hierarchical PHI's private
 // combining Morph: its own phantom base and the shared Morph's region.
 type phiHierView struct {
-	base   mem.Addr
-	shared mem.Region
+	base      mem.Addr
+	shared    mem.Region
+	forwarded uint64 // updates pushed into the SHARED Morph by this tile
 }
 
 type phiView struct {
@@ -82,6 +83,11 @@ type phiView struct {
 	cursors []uint64   // per-bin flushed offsets (in words)
 	wc      []mem.Line // per-bin write-combining buffers (engine SRAM)
 	wcN     []int      // valid words per buffer
+	// Study counters live on the view — one per tile, touched only by
+	// that tile's callbacks — so a sharded run never shares them across
+	// shards; runPHI sums the views after the run.
+	inPlace uint64
+	binned  uint64
 }
 
 // packUpdate packs a scatter update into one word: dst in the high half,
@@ -115,7 +121,6 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 	cfg.Engine = prm.Engine
 	if v == PHIBaseline || v == PHIUB {
 		cfg.NoTako = true
-		cfg.ShardUnsafe = true // threads synchronize through sim.Barriers on s.K
 	}
 	if v == PHIIdeal {
 		cfg.Engine = engine.IdealConfig()
@@ -153,6 +158,8 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 
 	var runErr error
 	var inPlaceTotal, binnedTotal, forwardedTotal uint64
+	var morph *core.Morph
+	privMorphs := make([]*core.Morph, threads)
 
 	// edgePhase runs fn(src, dst, contrib) over each thread's slice,
 	// loading ranks/offsets/neighbors through the hierarchy.
@@ -188,8 +195,8 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 
 	switch v {
 	case PHIBaseline:
-		bar := sim.NewBarrier(s.K, threads)
-		s.H.DRAM.SetPhase("edge")
+		bar := s.Barrier(threads)
+		s.H.SetDRAMPhase(nil, "edge")
 		for t := 0; t < threads; t++ {
 			t := t
 			s.Go(t, "phi-base", func(p *sim.Proc, c *cpu.Core) {
@@ -197,7 +204,7 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 					c.AtomicAddLocal(p, gm.VertexAddr(dst), contrib)
 				})
 				bar.Arrive(p)
-				s.H.DRAM.SetPhase("vertex")
+				s.H.SetDRAMPhase(p, "vertex")
 				vertexPhase(p, c, t)
 			})
 		}
@@ -221,8 +228,8 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 			wc[t] = make([]mem.Line, numBins)
 			wcN[t] = make([]int, numBins)
 		}
-		bar := sim.NewBarrier(s.K, threads)
-		s.H.DRAM.SetPhase("edge")
+		bar := s.Barrier(threads)
+		s.H.SetDRAMPhase(nil, "edge")
 		for t := 0; t < threads; t++ {
 			t := t
 			s.Go(t, "phi-ub", func(p *sim.Proc, c *cpu.Core) {
@@ -250,7 +257,7 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 					}
 				}
 				bar.Arrive(p)
-				s.H.DRAM.SetPhase("bin")
+				s.H.SetDRAMPhase(p, "bin")
 				// Bin phase: thread t applies bins t, t+threads, ...
 				for b := t; b < numBins; b += threads {
 					for tt := 0; tt < threads; tt++ {
@@ -268,7 +275,7 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 					}
 				}
 				bar.Arrive(p)
-				s.H.DRAM.SetPhase("vertex")
+				s.H.SetDRAMPhase(p, "vertex")
 				vertexPhase(p, c, t)
 			})
 		}
@@ -282,7 +289,6 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 		binBase := func(bank, b int) mem.Addr {
 			return binBuf.Base + mem.Addr(uint64(bank*numBins+b)*binCap*8)
 		}
-		var morph *core.Morph
 		spec := core.MorphSpec{
 			Name: "phi",
 			// onMiss: set line to the identity (zero) — the line is
@@ -312,7 +318,7 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 						for i := 0; i < mem.WordsPerLine; i++ {
 							if val := ctx.Line.Word(i); val != 0 {
 								ctx.AtomicAddWord(gm.VertexAddr(firstVtx+i), val)
-								inPlaceTotal++
+								view.inPlace++
 							}
 						}
 						return
@@ -331,7 +337,7 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 						b := dst / prm.BinRangeWords
 						view.wc[b].SetWord(view.wcN[b], packUpdate(dst, val))
 						view.wcN[b]++
-						binnedTotal++
+						view.binned++
 						if view.wcN[b] == mem.WordsPerLine {
 							cur := view.cursors[b]
 							view.cursors[b] = cur + 8
@@ -369,16 +375,15 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 					for i := 0; i < mem.WordsPerLine; i++ {
 						if val := ctx.Line.Word(i); val != 0 {
 							ctx.AtomicAddRemote(view.shared.Word(uint64(firstVtx+i)), val)
-							forwardedTotal++
+							view.forwarded++
 						}
 					}
 				},
 			},
 			NewView: func(tile int) interface{} { return &phiHierView{} },
 		}
-		privMorphs := make([]*core.Morph, threads)
-		bar := sim.NewBarrier(s.K, threads)
-		s.H.DRAM.SetPhase("edge")
+		bar := s.Barrier(threads)
+		s.H.SetDRAMPhase(nil, "edge")
 		for t := 0; t < threads; t++ {
 			t := t
 			s.Go(t, "phi-tako", func(p *sim.Proc, c *cpu.Core) {
@@ -386,14 +391,15 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 					m, err := s.Tako.RegisterPhantom(p, spec, core.Shared, uint64(prm.V)*8, 0)
 					if err != nil {
 						runErr = err
-						return
-					}
-					morph = m
-				} else {
-					for morph == nil && runErr == nil {
-						p.Sleep(100)
+					} else {
+						morph = m
 					}
 				}
+				// Publish the registration (or its failure) through a
+				// barrier round: the classic clock-poll loop has no
+				// deterministic sharded equivalent, and the barrier edge
+				// makes morph/runErr safely visible to every thread.
+				bar.Arrive(p)
 				if runErr != nil {
 					return
 				}
@@ -438,7 +444,7 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 							}
 						}
 					}
-					s.H.DRAM.SetPhase("bin")
+					s.H.SetDRAMPhase(p, "bin")
 				}
 				bar.Arrive(p)
 				// Bin phase: apply this thread's share of all banks'
@@ -461,7 +467,7 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 				}
 				bar.Arrive(p)
 				if t == 0 {
-					s.H.DRAM.SetPhase("vertex")
+					s.H.SetDRAMPhase(p, "vertex")
 				}
 				vertexPhase(p, c, t)
 			})
@@ -474,6 +480,20 @@ func runPHI(v PHIVariant, prm PHIParams) (Result, error) {
 	cycles := s.Run()
 	if runErr != nil {
 		return Result{}, runErr
+	}
+	// Fold the per-view study counters (each touched only by its own
+	// tile's callbacks) into run-wide totals.
+	if morph != nil {
+		for bank := 0; bank < prm.Tiles; bank++ {
+			view := morph.View(bank).(*phiView)
+			inPlaceTotal += view.inPlace
+			binnedTotal += view.binned
+		}
+	}
+	for _, m := range privMorphs {
+		if m != nil {
+			forwardedTotal += m.View(m.Tile).(*phiHierView).forwarded
+		}
 	}
 	// Verify the vertex phase wrote reference results into ranks.
 	bad := 0

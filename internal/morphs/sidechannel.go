@@ -62,7 +62,6 @@ func RunSideChannel(v SideChannelVariant, prm SideChannelParams) (SideChannelRes
 	cfg := system.Default(prm.Tiles)
 	if v == SCBaseline {
 		cfg.NoTako = true
-		cfg.ShardUnsafe = true // detection timestamps read the global clock (s.K.Now)
 	}
 	s := system.New(cfg)
 	hcfg := s.H.Config()
@@ -94,18 +93,37 @@ func RunSideChannel(v SideChannelVariant, prm SideChannelParams) (SideChannelRes
 	var detected bool
 	var detectionCycle sim.Cycle
 	var interrupts int
-	attackerDone := false
 	defended := false
+	// The attacker signals completion through coherent memory rather
+	// than a shared Go bool: the victim and attacker live on different
+	// shards, and loads/stores are the only cross-shard channel with a
+	// deterministic order.
+	doneFlag := s.Alloc("sc.done", mem.LineSize)
 
 	if v == SCTako {
 		// Victim registers an onEviction Morph over its real table
-		// addresses at the SHARED cache (Table 7).
-		s.E.Interrupt = func(tile, morphID int, addr mem.Addr) {
+		// addresses at the SHARED cache (Table 7). Eviction callbacks run
+		// at the evicted line's home bank — any shard — so each interrupt
+		// is shipped to the victim's shard (tile 0) as a message; the
+		// detection state is only ever touched there, and the timestamp is
+		// the delivery shard's clock. On the classic build delivery is
+		// inline on the global kernel.
+		deliver := func(now sim.Cycle) {
 			interrupts++
 			if !detected {
 				detected = true
-				detectionCycle = s.K.Now()
+				detectionCycle = now
 			}
+		}
+		s.E.Interrupt = func(tile, morphID int, addr mem.Addr) {
+			if s.Sh == nil {
+				deliver(s.K.Now())
+				return
+			}
+			victim := s.Sh.Shard(0)
+			s.Sh.Shard(tile).Send(0, s.H.Mesh.Latency(tile, 0, 8), func() {
+				deliver(victim.K.Now())
+			})
 		}
 	}
 
@@ -124,7 +142,7 @@ func RunSideChannel(v SideChannelVariant, prm SideChannelParams) (SideChannelRes
 				panic(err)
 			}
 		}
-		for !attackerDone {
+		for c.Load(p, doneFlag.Word(0)) == 0 {
 			if detected && !defended {
 				p.Sleep(200) // user-space interrupt delivery
 				defended = true
@@ -174,7 +192,7 @@ func RunSideChannel(v SideChannelVariant, prm SideChannelParams) (SideChannelRes
 				}
 			}
 		}
-		attackerDone = true
+		c.Store(p, doneFlag.Word(0), 1)
 	})
 
 	cycles := s.Run()

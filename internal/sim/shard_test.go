@@ -66,6 +66,18 @@ func buildShardedWorkload(shards int) *shardedFixture {
 		}
 	}
 
+	// Futures acked by spawned callback procs (the engine-callback
+	// message shape: ship work to a remote shard, which runs it as a
+	// fresh proc on its own kernel and acks completion back). One per
+	// callback round, living on the requesting shard.
+	cbAcks := make([][]*Future, shards)
+	for i := range cbAcks {
+		cbAcks[i] = make([]*Future, steps/4+1)
+		for r := range cbAcks[i] {
+			cbAcks[i][r] = NewFuture(s.Shard(i).K)
+		}
+	}
+
 	// Processes parked via block() and woken cross-shard by SendWake:
 	// blocker i is woken (rounds times, spaced ≥1 cycle apart) by shard
 	// (i-2)'s driver.
@@ -105,6 +117,26 @@ func buildShardedWorkload(shards int) *shardedFixture {
 				if step < rounds {
 					sh.SendComplete((i+1)%shards, delay, futures[(i+1)%shards][step])
 					sh.SendWake((i+2)%shards, lookahead, blockers[(i+2)%shards])
+				}
+				if step%4 == 0 {
+					// The engine-callback pattern from the hierarchy's
+					// morph hosting: the request message spawns a callback
+					// proc on the destination's own kernel; the proc does
+					// local work, then acks the origin, which blocks on
+					// the round trip (flush fan-outs, registration
+					// broadcasts, persist RPCs all have this shape).
+					cbDst := (i + 1 + shards/2) % shards
+					ack := cbAcks[i][step/4]
+					dt := s.Shard(cbDst)
+					sh.Send(cbDst, lookahead, func() {
+						dt.K.Go("cb", func(q *Proc) {
+							f.record(cbDst, "cb for %d step %d at %d", i, step, q.Now())
+							q.Sleep(Cycle(1 + step%3))
+							dt.SendComplete(i, lookahead, ack)
+						})
+					})
+					p.Wait(ack)
+					f.record(i, "cb ack step %d at %d", step, p.Now())
 				}
 				p.Sleep(Cycle(1 + rng.Intn(4)))
 			}

@@ -1,0 +1,200 @@
+package sim
+
+import "fmt"
+
+// This file adds workload-level synchronization primitives for code
+// hosted on a Sharded engine. The classic kernel gives workloads a
+// global clock and shared-state barriers (sync.go); neither exists on a
+// sharded build, where every cross-shard interaction must be a
+// lookahead-respecting message. ShardedBarrier is the message-passing
+// form of Barrier, and Sharded.RunUntil is the epoch-clamped form of
+// Kernel.RunUntil for crash harnesses.
+
+// Rendezvous is the interface shared by the classic Barrier and the
+// sharded ShardedBarrier: a reusable all-arrive/all-release point for a
+// fixed set of processes. Workload code written against Rendezvous runs
+// unchanged on either engine.
+type Rendezvous interface {
+	Arrive(p *Proc)
+}
+
+var (
+	_ Rendezvous = (*Barrier)(nil)
+	_ Rendezvous = (*ShardedBarrier)(nil)
+)
+
+// ShardOf returns the shard index whose kernel is k, panicking for a
+// kernel that belongs to no shard of this engine.
+func (s *Sharded) ShardOf(k *Kernel) int {
+	for i, sh := range s.shards {
+		if sh.K == k {
+			return i
+		}
+	}
+	panic("sim: kernel belongs to no shard of this engine")
+}
+
+// shardedWaiter is one parked barrier participant: the shard it lives on
+// and the (participant-owned, pooled) future its release completes.
+type shardedWaiter struct {
+	origin int
+	fut    *Future
+}
+
+// ShardedBarrier is a reusable rendezvous for processes spread across
+// the shards of one Sharded engine. Arrivals travel to a home shard as
+// mailbox messages (delay = lookahead), the home shard counts them, and
+// the last arrival releases every waiter — remote waiters by a
+// cross-shard future completion, home-shard waiters by a local event.
+// Because arrival messages drain in the canonical epoch order and the
+// home-side counter is only ever touched from home-shard events, a
+// ShardedBarrier round is byte-identical at any worker count. A release
+// costs two lookahead crossings where the classic Barrier costs zero
+// cycles; sharded cycle counts honestly differ.
+type ShardedBarrier struct {
+	s       *Sharded
+	home    int
+	n       int
+	arrived int
+	waiters []shardedWaiter
+}
+
+// NewShardedBarrier returns a barrier for n participants, coordinated on
+// shard home.
+func NewShardedBarrier(s *Sharded, home, n int) *ShardedBarrier {
+	if n <= 0 {
+		panic("sim: barrier needs at least one participant")
+	}
+	return &ShardedBarrier{s: s, home: s.shardIndex(home), n: n}
+}
+
+// Arrive blocks p until all participants of the current generation have
+// arrived. p may live on any shard; its arrival is shipped to the home
+// shard as a message and its wake-up travels back the same way.
+func (b *ShardedBarrier) Arrive(p *Proc) {
+	origin := b.s.ShardOf(p.Kernel())
+	f := p.Kernel().GetFuture()
+	if origin == b.home {
+		// Home-shard arrival: the barrier state is owned by this shard,
+		// and p is running on it, so the count updates directly.
+		b.arriveAt(origin, f)
+	} else {
+		b.s.Shard(origin).Send(b.home, b.s.lookahead, func() {
+			b.arriveAt(origin, f)
+		})
+	}
+	p.Wait(f)
+	// Pooled futures completed by a completeAt event recycle themselves;
+	// home-shard releases complete through the same event path.
+}
+
+// arriveAt runs on the home shard (proc context for home-local arrivals,
+// event context for remote ones): count the arrival and release the
+// generation when full.
+func (b *ShardedBarrier) arriveAt(origin int, f *Future) {
+	b.waiters = append(b.waiters, shardedWaiter{origin, f})
+	b.arrived++
+	if b.arrived < b.n {
+		return
+	}
+	if b.arrived > b.n {
+		panic(fmt.Sprintf("sim: %d arrivals at a %d-participant barrier", b.arrived, b.n))
+	}
+	home := b.s.Shard(b.home)
+	for _, w := range b.waiters {
+		if w.origin == b.home {
+			home.K.completeAt(home.K.now, w.fut)
+		} else {
+			home.SendComplete(w.origin, b.s.lookahead, w.fut)
+		}
+	}
+	b.arrived = 0
+	b.waiters = b.waiters[:0]
+}
+
+// RunUntil executes the epoch schedule with the given worker count until
+// every event at or before limit has run, then advances every shard
+// clock to limit — the sharded form of Kernel.RunUntil, used by crash
+// harnesses that stop a machine mid-flight. Epochs are clamped at limit,
+// so the executed prefix is exactly the events the unbounded run would
+// have executed by then; results are byte-identical at any worker count.
+func (s *Sharded) RunUntil(limit Cycle, workers int) {
+	n := len(s.shards)
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		s.runUntilSequenced(limit)
+	} else {
+		s.runUntilParallel(limit, workers)
+	}
+	for _, sh := range s.shards {
+		sh.K.RunUntil(limit) // no events ≤ limit remain; advances the clock
+	}
+}
+
+func (s *Sharded) runUntilSequenced(limit Cycle) {
+	for {
+		s.deliver()
+		e, ok := s.minNext()
+		if !ok || e > limit {
+			return
+		}
+		until := e + s.lookahead - 1
+		if until > limit {
+			until = limit
+		}
+		for id := range s.shards {
+			s.runShardEpoch(id, until)
+		}
+		s.stats.Epochs++
+		s.checkFailures()
+		if s.barrierHook != nil {
+			s.barrierHook()
+		}
+	}
+}
+
+func (s *Sharded) runUntilParallel(limit Cycle, workers int) {
+	n := len(s.shards)
+	start := make([]chan Cycle, workers)
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		start[w] = make(chan Cycle, 1)
+		go func(w int) {
+			for until := range start[w] {
+				for id := w; id < n; id += workers {
+					s.runShardEpoch(id, until)
+				}
+				done <- struct{}{}
+			}
+		}(w)
+	}
+	defer func() {
+		for _, c := range start {
+			close(c)
+		}
+	}()
+	for {
+		s.deliver()
+		e, ok := s.minNext()
+		if !ok || e > limit {
+			return
+		}
+		until := e + s.lookahead - 1
+		if until > limit {
+			until = limit
+		}
+		for w := 0; w < workers; w++ {
+			start[w] <- until
+		}
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+		s.stats.Epochs++
+		s.checkFailures()
+		if s.barrierHook != nil {
+			s.barrierHook()
+		}
+	}
+}

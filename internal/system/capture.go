@@ -176,12 +176,9 @@ func (s *System) attachCapture() {
 	active.nextPid++
 	s.captured = true
 	if active.cfg.Sink != nil {
-		if s.Sh != nil {
-			// Sharded hierarchies reject tracers (commit points fire on
-			// every shard concurrently); the capture stays metrics-only.
-			// The CLIs refuse -trace with -sharded up front.
-			return
-		}
+		// Sharded hierarchies fork the tracer per tile and merge the
+		// buffers back in canonical (cycle, shard, seq) order at
+		// FinishStats, so the same wiring serves both build shapes.
 		capacity := active.cfg.TraceCapacity
 		if capacity == 0 {
 			capacity = 4096

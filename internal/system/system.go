@@ -39,23 +39,20 @@ type Config struct {
 	// Sharded hosts the machine on a sim.Sharded engine — one shard (its
 	// own kernel and clock) per tile, cross-tile interactions carried by
 	// lookahead-respecting messages — for real parallel speedup on a
-	// single simulation. Requires NoTako (the message protocol covers the
-	// baseline hierarchy only). Unlike TilePar, which only re-buckets
-	// events under one global clock, sharded execution changes the timing
-	// model: cross-tile operations pay real message round trips, so cycle
-	// counts differ from the classic engine. Results are still
-	// byte-identical across ShardWorkers values (and to the sequenced
-	// schedule), which is what the determinism battery pins.
+	// single simulation. Baseline and täkō machines both shard: the Morph
+	// registry is partitioned per tile, engines run on their tile's shard
+	// kernel, and registration/flush/persist traffic rides the message
+	// protocol. Unlike TilePar, which only re-buckets events under one
+	// global clock, sharded execution changes the timing model: cross-tile
+	// operations pay real message round trips, so cycle counts differ
+	// from the classic engine. Results are still byte-identical across
+	// ShardWorkers values (and to the sequenced schedule), which is what
+	// the determinism battery pins.
 	Sharded bool
 	// ShardWorkers is the worker-goroutine count for a Sharded run.
 	// ≤ 1 runs the deterministic sequenced schedule inline; n ≥ 2 runs n
 	// workers with identical simulated results. Ignored unless Sharded.
 	ShardWorkers int
-	// ShardUnsafe marks a config whose workload depends on classic-kernel
-	// primitives a sharded build cannot host — a global clock (s.K.Now,
-	// RunUntil) or cross-tile sim.Barriers on s.K. SetDefaultSharded
-	// (the -sharded flag) skips such configs instead of crashing them.
-	ShardUnsafe bool
 	// FastForward, when > 0, runs the machine's first N core memory
 	// accesses through the analytical fast-forward engine (hier/ff.go):
 	// functionally exact execution against the backing store feeding a
@@ -176,13 +173,13 @@ type System struct {
 
 // New builds and wires a System.
 func New(cfg Config) *System {
-	if !cfg.Sharded && defaultSharded && cfg.NoTako && !cfg.ShardUnsafe && cfg.TilePar == 0 &&
+	if !cfg.Sharded && defaultSharded && cfg.TilePar == 0 &&
 		cfg.FastForward == 0 && !cfg.FFAuto && defaultFFAccesses == 0 && !defaultFFAuto {
-		// The -sharded default applies only to baseline machines that
-		// left the kernel organization unspecified; a config that chose
-		// an engine explicitly (TilePar ≥ 1, or Sharded itself) wins —
-		// as does fast-forward warmup (the config's or the -ff flags'),
-		// which needs the classic kernel.
+		// The -sharded default applies to any machine — baseline or täkō —
+		// that left the kernel organization unspecified; a config that
+		// chose an engine explicitly (TilePar ≥ 1, or Sharded itself)
+		// wins — as does fast-forward warmup (the config's or the -ff
+		// flags'), which needs the classic kernel.
 		cfg.Sharded = true
 		if cfg.ShardWorkers == 0 {
 			cfg.ShardWorkers = defaultShardWorkers
@@ -244,10 +241,14 @@ func New(cfg Config) *System {
 // (directory actions, home-line locks, snoops, remote DRAM) run as
 // messages between shards; everything tile-private — cores, private
 // caches, MSHRs, the transaction state machine — runs undisturbed on its
-// tile's shard. Baseline (NoTako) machines only.
+// tile's shard. täkō machines shard too: the Morph registry keeps one
+// view per tile, engines run on their tile's shard kernel, and
+// registration broadcasts, flushes, and persists ride the same message
+// protocol.
 func newSharded(cfg Config) *System {
-	if !cfg.NoTako {
-		panic("system: sharded execution supports the baseline machine only (set NoTako)")
+	if cfg.FastForward > 0 || cfg.FFAuto {
+		panic("system: -sharded with -ff/-ff-auto is unsupported (the analytical warmup replays on the " +
+			"classic global-clock kernel); drop -sharded, or drop the fast-forward flags for a full sharded run")
 	}
 	meter := energy.NewMeter()
 	space := mem.NewSpace()
@@ -256,7 +257,15 @@ func newSharded(cfg Config) *System {
 	lookahead := noc.NewMesh(cfg.Hier.NoC, nil).MinCrossTileLatency()
 	eng := sim.NewSharded(cfg.Tiles, lookahead)
 	s := &System{Sh: eng, Meter: meter, Space: space, workers: cfg.ShardWorkers}
-	s.H = hier.NewSharded(eng, cfg.Hier, meter, nil, nil)
+	if cfg.NoTako {
+		s.H = hier.NewSharded(eng, cfg.Hier, meter, nil, nil)
+	} else {
+		s.Tako = core.NewSharded(eng, space)
+		s.E = engine.NewSharded(eng, cfg.Engine, cfg.Tiles, s.Tako, meter)
+		s.H = hier.NewSharded(eng, cfg.Hier, meter, s.Tako, s.E)
+		s.E.AttachHierarchy(s.H)
+		s.Tako.Attach(s.H, s.E)
+	}
 	for i := 0; i < cfg.Tiles; i++ {
 		s.Cores = append(s.Cores, cpu.New(s.H, i, cfg.Core, meter))
 	}
@@ -289,6 +298,29 @@ func (s *System) Go(tile int, name string, fn func(p *sim.Proc, c *cpu.Core)) {
 		return
 	}
 	s.K.GoOn(s.TileShard(tile), fmt.Sprintf("%s@%d", name, tile), run)
+}
+
+// Barrier returns a rendezvous for n software threads that works on
+// either engine: a classic kernel barrier, or an epoch-coordinated
+// barrier homed on shard 0 of a sharded build. Both sides satisfy
+// sim.Rendezvous (Arrive blocks until all n arrived).
+func (s *System) Barrier(n int) sim.Rendezvous {
+	if s.Sh != nil {
+		return sim.NewShardedBarrier(s.Sh, 0, n)
+	}
+	return sim.NewBarrier(s.K, n)
+}
+
+// RunUntil advances the machine to the given cycle at most and returns
+// with the event queues intact; crash harnesses (§8.3) use it to cut a
+// run at a precise point. On a sharded build every shard clock reaches
+// limit (the epoch schedule stays deterministic at any worker count).
+func (s *System) RunUntil(limit sim.Cycle) {
+	if s.Sh != nil {
+		s.Sh.RunUntil(limit, s.workers)
+		return
+	}
+	s.K.RunUntil(limit)
 }
 
 // TileShard returns the kernel queue holding tile's events: 0 (the home
